@@ -1,0 +1,24 @@
+"""Benchmark-suite plumbing: collects each experiment's rendered report and
+prints them all in the terminal summary, so `pytest benchmarks/
+--benchmark-only | tee bench_output.txt` captures the reproduced tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_REPORTS: List[tuple] = []
+
+
+def record_report(title: str, body: str) -> None:
+    _REPORTS.append((title, body))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper results")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {title} ====")
+        for line in body.split("\n"):
+            terminalreporter.write_line(line)

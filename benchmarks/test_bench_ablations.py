@@ -1,0 +1,90 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Two of GCatch's precision/recall trade-offs are parameters here:
+
+* the loop-unroll bound (paper: 2; the source of 11 FPs *and* what keeps
+  path enumeration finite);
+* infeasible-path pruning over read-only conditions (paper: prevents a
+  combinatorial class of FPs; its restriction to read-only variables causes
+  9 of the remaining ones).
+
+The ablation measures real-bug recall and FP counts across settings on a
+corpus slice that contains both loop-sensitive and branch-sensitive seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.corpus import templates as T
+from repro.detector.bmoc import detect_bmoc
+from repro.report.table import render_simple
+from repro.ssa.builder import build_program
+
+# a mixed slate: real bugs of each fix class + the two infeasible-path FP
+# shapes + a loop-balanced clean program that only bounded unrolling flags
+SLATE = [
+    ("real", T.bmocc_s1_ctx),
+    ("real", T.bmocc_s2_fatal),
+    ("real", T.bmocc_s3_loop),
+    ("real", T.bmocc_unfix_parent),
+    ("fp", T.fp_nonreadonly),
+    ("fp", T.fp_loop_unroll),
+]
+
+
+def _programs():
+    out = []
+    for i, (truth, factory) in enumerate(SLATE):
+        instance = factory(f"Abl{i}")
+        out.append((truth, build_program("package main\n" + instance.code, "abl.go")))
+    return out
+
+
+def _run(programs, max_loop_unroll: int, prune_infeasible: bool):
+    real_found = fp_raised = 0
+    for truth, program in programs:
+        reports = detect_bmoc(
+            program,
+            max_loop_unroll=max_loop_unroll,
+            prune_infeasible=prune_infeasible,
+        ).reports
+        if truth == "real" and reports:
+            real_found += 1
+        if truth == "fp" and reports:
+            fp_raised += 1
+    return real_found, fp_raised
+
+
+def test_design_ablations(benchmark):
+    programs = _programs()
+    total_real = sum(1 for truth, _ in SLATE if truth == "real")
+
+    def sweep():
+        results = {}
+        for unroll in (1, 2, 3):
+            results[("unroll", unroll)] = _run(programs, unroll, True)
+        results[("prune", False)] = _run(programs, 2, False)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for key, (real_found, fp_raised) in results.items():
+        label = f"unroll={key[1]}" if key[0] == "unroll" else "no infeasible-path pruning"
+        rows.append([label, f"{real_found}/{total_real}", str(fp_raised)])
+    record_report(
+        "Design ablations: loop-unroll bound and path pruning",
+        render_simple(["configuration", "real bugs found", "FP programs flagged"], rows),
+    )
+
+    baseline_real, baseline_fp = results[("unroll", 2)]
+    # the paper's configuration finds every seeded real bug
+    assert baseline_real == total_real
+    # disabling pruning can only add false positives, never lose real bugs
+    noprune_real, noprune_fp = results[("prune", False)]
+    assert noprune_real >= baseline_real
+    assert noprune_fp >= baseline_fp
+    # deeper unrolling never loses the seeded real bugs either
+    assert results[("unroll", 3)][0] == total_real

@@ -1,0 +1,96 @@
+"""Experiment §7: comparison against the baseline detectors.
+
+Paper: the two static tool suites (vet, staticcheck) detect **0 of 149**
+BMOC bugs and **20 of 119** traditional bugs — all of them Fatal-in-child-
+goroutine cases — while Go's built-in dynamic deadlock detector only fires
+on *global* deadlocks and therefore misses the leaked-goroutine symptom of
+most BMOC bugs. The harness runs both baselines over the corpus and
+contrasts them with GCatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.corpus.apps import build_corpus
+from repro.detector.baselines import run_dynamic_deadlock_detector, run_static_suites
+from repro.report.experiments import evaluate_corpus
+from repro.report.table import render_simple
+
+
+@pytest.fixture(scope="module")
+def corpus_evaluation():
+    return evaluate_corpus()
+
+
+def test_static_suites_vs_gcatch(benchmark, corpus_evaluation):
+    corpus = build_corpus()
+
+    def run_suites():
+        fatal = 0
+        bmoc_overlap = 0
+        for app in corpus:
+            result = run_static_suites(app.program())
+            fatal += len(result.fatal_reports)
+            # does any suite report land on a seeded BMOC channel? (no)
+            for report in result.reports:
+                function = report.blocked_ops[0].function if report.blocked_ops else ""
+                instance = app.instance_for_function(function)
+                if instance is not None and instance.category.startswith("bmoc"):
+                    bmoc_overlap += 1
+        return fatal, bmoc_overlap
+
+    fatal, bmoc_overlap = benchmark.pedantic(run_suites, rounds=1, iterations=1)
+
+    gcatch_bmoc = sum(
+        corpus_evaluation.totals()[key][0] for key in ("bmoc_c", "bmoc_m")
+    )
+    gcatch_traditional = sum(
+        corpus_evaluation.totals()[key][0]
+        for key in ("forget_unlock", "double_lock", "conflict_lock", "struct_field", "fatal")
+    )
+    rows = [
+        ["BMOC bugs", str(gcatch_bmoc), str(bmoc_overlap), "149 vs 0"],
+        ["traditional bugs", str(gcatch_traditional), str(fatal), "119 vs 20 (all Fatal)"],
+    ]
+    record_report(
+        "vet/staticcheck-style suites vs GCatch (§7)",
+        render_simple(["category", "GCatch", "static suites", "paper"], rows),
+    )
+
+    # the paper's comparison shape: suites find zero BMOC bugs, and what
+    # they do find is exactly the Fatal-in-goroutine pattern
+    assert bmoc_overlap == 0
+    assert fatal == 26  # every seeded Fatal bug (paper: 20 of its 26)
+    assert gcatch_bmoc == 149
+
+
+def test_dynamic_detector_misses_partial_deadlocks(benchmark):
+    from repro.corpus import templates as T
+
+    # a leaked-child BMOC bug (Figure 1 shape): invisible to the runtime
+    # detector because main survives
+    instance = T.bmocc_s1_ctx("Dyn1")
+    from repro.ssa.builder import build_program
+
+    program = build_program("package main\n" + instance.code, "dyn.go")
+
+    def run_detector():
+        return run_dynamic_deadlock_detector(
+            program, entry=instance.driver, seeds=30, max_steps=10_000
+        )
+
+    result = benchmark.pedantic(run_detector, rounds=1, iterations=1)
+
+    rows = [
+        ["schedules run", str(result.schedules)],
+        ["global deadlocks flagged", str(result.global_deadlocks)],
+        ["partial deadlocks (leaked child) missed", str(result.partial_deadlocks_missed)],
+    ]
+    record_report(
+        "Go runtime deadlock detector on a Figure-1-style bug (§7)",
+        render_simple(["metric", "value"], rows),
+    )
+    assert result.global_deadlocks == 0
+    assert result.partial_deadlocks_missed > 0

@@ -1,0 +1,68 @@
+"""Experiment E-correct: automated validation of GFix's patches (§5.3 / §6).
+
+Paper: "We confirm that all generated patches are correct, and that they
+can fix the bugs without changing the original program semantics" — done
+manually, with automation left to future work. Here the implemented
+patch-testing framework validates every patch GFix generates on a corpus
+slice: static re-detection, dynamic leak-freedom, and behaviour-set
+preservation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.corpus.apps import corpus_app
+from repro.fixer.validate import validate_patch
+from repro.report.experiments import evaluate_app
+from repro.report.table import render_simple
+
+APPS = ["bbolt", "gRPC", "Prometheus"]
+
+
+def test_all_patches_validate(benchmark):
+    def validate_slice():
+        rows = []
+        for name in APPS:
+            app = corpus_app(name)
+            evaluation = evaluate_app(app)
+            for fix in evaluation.fixes:
+                if not fix.fixed:
+                    continue
+                instance = app.instance_for_function(
+                    fix.report.primitive.site.function
+                )
+                if instance is None or instance.driver is None:
+                    continue
+                validation = validate_patch(
+                    app.source, fix, entry=instance.driver, seeds=10
+                )
+                rows.append((name, instance.template, fix.strategy, validation))
+        return rows
+
+    rows = benchmark.pedantic(validate_slice, rounds=1, iterations=1)
+
+    table = [
+        [
+            app_name,
+            template,
+            strategy,
+            "yes" if v.static_clean else "NO",
+            f"{v.patched_leaks}",
+            f"{len(v.semantics_mismatches)}",
+            "CORRECT" if v.correct else "REJECTED",
+        ]
+        for app_name, template, strategy, v in rows
+    ]
+    record_report(
+        "Automated patch validation (paper: all 124 correct, validated manually)",
+        render_simple(
+            ["app", "bug shape", "strategy", "static clean", "leaks", "mismatches", "verdict"],
+            table,
+        ),
+    )
+
+    assert rows, "expected patches to validate"
+    for app_name, template, strategy, validation in rows:
+        assert validation.correct, f"{app_name}/{template}: {validation.render()}"

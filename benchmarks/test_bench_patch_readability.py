@@ -1,0 +1,79 @@
+"""Experiment E-readab: patch readability — changed lines (§5.3).
+
+Paper: GFix changes 2.67 lines on average; Strategy I patches change 1
+line each, Strategy II 4 lines each, Strategy III 10.3 on average (max 16).
+We compute the same statistic over every patch generated for the corpus.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.report.experiments import evaluate_corpus
+from repro.report.table import render_simple
+
+
+@pytest.fixture(scope="module")
+def corpus_evaluation():
+    return evaluate_corpus()
+
+
+def test_patch_readability(benchmark, corpus_evaluation):
+    from repro.corpus.apps import corpus_app
+    from repro.report.experiments import evaluate_app
+
+    benchmark.pedantic(lambda: evaluate_app(corpus_app("bbolt")), rounds=2, iterations=1)
+
+    per_strategy = {"buffer": [], "defer": [], "stop": []}
+    for evaluation in corpus_evaluation.evaluations:
+        for fix in evaluation.fixes:
+            if fix.fixed:
+                per_strategy[fix.strategy].append(fix.patch.changed_lines())
+
+    all_counts = [c for counts in per_strategy.values() for c in counts]
+    rows = [
+        [
+            "Strategy I (buffer)",
+            str(len(per_strategy["buffer"])),
+            f"{statistics.mean(per_strategy['buffer']):.2f}",
+            "99 patches, 1 line each",
+        ],
+        [
+            "Strategy II (defer)",
+            str(len(per_strategy["defer"])),
+            f"{statistics.mean(per_strategy['defer']):.2f}",
+            "4 patches, 4 lines each",
+        ],
+        [
+            "Strategy III (stop)",
+            str(len(per_strategy["stop"])),
+            f"{statistics.mean(per_strategy['stop']):.2f}",
+            "21 patches, 10.3 lines avg (max 16)",
+        ],
+        [
+            "all",
+            str(len(all_counts)),
+            f"{statistics.mean(all_counts):.2f}",
+            "124 patches, 2.67 lines avg",
+        ],
+    ]
+    record_report(
+        "Patch readability: changed lines per strategy (§5.3)",
+        render_simple(["strategy", "patches", "avg changed lines", "paper"], rows),
+    )
+
+    # shape assertions: counts match Table 1; line counts are in the
+    # paper's regime (I=1 exactly, II small, III the largest)
+    assert len(per_strategy["buffer"]) == 99
+    assert len(per_strategy["defer"]) == 4
+    assert len(per_strategy["stop"]) == 21
+    assert all(c == 1 for c in per_strategy["buffer"])
+    assert all(2 <= c <= 6 for c in per_strategy["defer"])
+    assert all(5 <= c <= 16 for c in per_strategy["stop"])
+    assert statistics.mean(per_strategy["buffer"]) < statistics.mean(
+        per_strategy["defer"]
+    ) < statistics.mean(per_strategy["stop"])
+    assert statistics.mean(all_counts) < 4.0

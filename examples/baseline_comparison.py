@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare GCatch against the paper's baselines (§7) on Figure 1.
+
+* vet/staticcheck-style static suites: pattern matchers that cover very
+  specific shapes — they see nothing wrong with Figure 1 (paper: 0/149
+  BMOC bugs detected);
+* Go's built-in dynamic deadlock detector: fires only when *all*
+  goroutines are asleep, so the leaked child of Figure 1 — main keeps
+  running — is invisible to it;
+* GCatch: finds the bug statically with a witness schedule, and GFix's
+  patch passes the automated validation framework.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro import Project
+from repro.corpus.snippets import FIGURE1
+from repro.detector.baselines import run_dynamic_deadlock_detector, run_static_suites
+from repro.fixer.validate import validate_patch
+
+
+def main() -> None:
+    project = Project.from_source(FIGURE1.source, "docker_exec.go")
+
+    print("== baseline 1: vet/staticcheck-style suites ==")
+    suites = run_static_suites(project.program)
+    print(f"reports: {len(suites.reports)} "
+          "(the suites' patterns do not cover misuse of channels)\n")
+
+    print("== baseline 2: Go's runtime deadlock detector ==")
+    dynamic = run_dynamic_deadlock_detector(project.program, entry="main", seeds=20)
+    print(f"schedules: {dynamic.schedules}  global deadlocks flagged: "
+          f"{dynamic.global_deadlocks}  leaked-child schedules missed: "
+          f"{dynamic.partial_deadlocks_missed}\n")
+
+    print("== GCatch + GFix ==")
+    result = project.detect()
+    bug = result.bmoc.bmoc_channel_bugs()[0]
+    print(bug.render())
+    fix = project.fix(bug)
+    print(f"\nGFix: strategy {fix.strategy}, {fix.patch.changed_lines()} line changed")
+    validation = validate_patch(FIGURE1.source, fix, entry="main", seeds=20)
+    print(validation.render())
+
+    assert not suites.reports
+    assert dynamic.global_deadlocks == 0 and dynamic.partial_deadlocks_missed > 0
+    assert validation.correct
+    print("\nonly GCatch sees the bug; only GFix's patch survives validation.")
+
+
+if __name__ == "__main__":
+    main()

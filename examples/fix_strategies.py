@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""All three GFix strategies on the paper's figure examples.
+
+* Figure 1 (Docker)      -> Strategy I:   increase buffer size (1 line)
+* Figure 3 (etcd)        -> Strategy II:  defer the unblocking op (4 lines)
+* Figure 4 (Go-Ethereum) -> Strategy III: add a stop channel (~8 lines)
+
+For each: detect, patch, show the diff, and stress-test original vs patched.
+
+Run:  python examples/fix_strategies.py
+"""
+
+from repro import Project
+from repro.corpus.snippets import ALL_SNIPPETS
+
+
+def demonstrate(snippet) -> None:
+    banner = f"== {snippet.figure}: {snippet.name} =="
+    print(banner)
+    print(snippet.description)
+    print()
+
+    project = Project.from_source(snippet.source, snippet.name + ".go")
+    entry = "main" if "main" in project.program.functions else snippet.entry
+
+    bugs = project.detect().bmoc.bmoc_channel_bugs()
+    blocked = bugs[0].blocked_ops[0]
+    print(f"GCatch: {blocked} can block forever")
+
+    fix = project.fix(bugs[0])
+    print(f"GFix:   Strategy '{fix.strategy}', {fix.patch.changed_lines()} line(s) changed")
+    print()
+    print(fix.patch.unified_diff(snippet.name + ".go"))
+
+    patched = project.apply_fix(fix)
+    original_leaks = sum(
+        r.blocked_forever for r in project.stress(entry=entry, seeds=20, max_steps=20000)
+    )
+    patched_leaks = sum(
+        r.blocked_forever for r in patched.stress(entry=entry, seeds=20, max_steps=20000)
+    )
+    print(f"\nvalidation: original leaks on {original_leaks}/20 schedules, "
+          f"patched on {patched_leaks}/20")
+    assert patched_leaks == 0
+    print()
+
+
+def main() -> None:
+    for snippet in ALL_SNIPPETS:
+        demonstrate(snippet)
+    print("all three strategies reproduced the paper's patches.")
+
+
+if __name__ == "__main__":
+    main()

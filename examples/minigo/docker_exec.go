@@ -1,0 +1,31 @@
+// Figure 1 of the GCatch/GFix paper (ASPLOS 2021)
+// Docker's Exec(): the child sends its error on an unbuffered channel; if the parent takes the ctx.Done() case, the child blocks forever. GFix bumps the buffer size to one.
+package main
+
+func StdCopy() int {
+	return 0
+}
+
+func Exec(ctx context.Context) int {
+	outDone := make(chan int)
+	go func() {
+		err := StdCopy()
+		outDone <- err
+	}()
+	select {
+	case err := <-outDone:
+		if err != 0 {
+			return err
+		}
+	case <-ctx.Done():
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	ctx, cancel := context.WithCancel()
+	cancel()
+	r := Exec(ctx)
+	println("exec result", r)
+}

@@ -1,0 +1,32 @@
+// Figure 3 of the GCatch/GFix paper (ASPLOS 2021)
+// etcd's TestRWDialer(): t.Fatalf() exits the test before the stop send executes, leaving the child blocked. GFix defers the send.
+package main
+
+func Dial() (int, int) {
+	e := 0
+	flip := make(chan struct{}, 1)
+	go func() {
+		e = 1
+		flip <- struct{}{}
+	}()
+	select {
+	case <-flip:
+	default:
+	}
+	return 0, e
+}
+
+func Start(stop chan struct{}) {
+	<-stop
+}
+
+func TestRWDialer(t *testing.T) {
+	stop := make(chan struct{})
+	go Start(stop)
+	conn, err := Dial()
+	if err != 0 {
+		t.Fatalf("dial failed")
+	}
+	println("dialed", conn)
+	stop <- struct{}{}
+}

@@ -1,0 +1,37 @@
+// Figure 4 of the GCatch/GFix paper (ASPLOS 2021)
+// Go-Ethereum's Interactive(): the child keeps sending lines in a loop; once the parent returns via abort, the child blocks at the next send. GFix adds a stop channel closed via defer.
+package main
+
+func Input() (string, int) {
+	return "line", 0
+}
+
+func Interactive(abort chan struct{}) {
+	scheduler := make(chan string)
+	go func() {
+		for {
+			line, err := Input()
+			if err != 0 {
+				close(scheduler)
+				return
+			}
+			scheduler <- line
+		}
+	}()
+	for {
+		select {
+		case <-abort:
+			return
+		case _, ok := <-scheduler:
+			if !ok {
+				return
+			}
+		}
+	}
+}
+
+func main() {
+	abort := make(chan struct{})
+	close(abort)
+	Interactive(abort)
+}

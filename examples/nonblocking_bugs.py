@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The §6 extension: detecting non-blocking misuse-of-channel bugs.
+
+The paper sketches extending GCatch beyond blocking bugs: a send whose
+order variable can exceed a close's on the same channel panics. This
+example runs the implemented extension on a send/close race and a
+double-close race, and confirms both against the runtime (which reproduces
+the actual Go panics).
+
+Run:  python examples/nonblocking_bugs.py
+"""
+
+from repro import Project
+from repro.detector.nonblocking import detect_nonblocking
+
+SEND_CLOSE_RACE = """package main
+
+func producer(ch chan int) {
+	ch <- 1
+}
+
+func main() {
+	ch := make(chan int, 1)
+	go producer(ch)
+	close(ch)
+}
+"""
+
+DOUBLE_CLOSE_RACE = """package main
+
+func shutdown(done chan struct{}) {
+	close(done)
+}
+
+func main() {
+	done := make(chan struct{})
+	go shutdown(done)
+	close(done)
+}
+"""
+
+
+def demonstrate(title: str, source: str) -> None:
+    print(f"== {title} ==")
+    project = Project.from_source(source, "nb.go")
+    result = detect_nonblocking(project.program)
+    for report in result.reports:
+        print(f"static:  [{report.category}] {report.description}")
+    panics = [r for r in project.stress(entry="main", seeds=30, max_steps=5000) if r.panicked]
+    print(f"dynamic: panicked on {len(panics)}/30 schedules "
+          f"({panics[0].panic_message if panics else 'never'})")
+    assert result.reports and panics
+    print()
+
+
+def main() -> None:
+    demonstrate("send on closed channel (race)", SEND_CLOSE_RACE)
+    demonstrate("double close (race)", DOUBLE_CLOSE_RACE)
+    print("both §6 extension patterns detected and confirmed at runtime.")
+
+
+if __name__ == "__main__":
+    main()

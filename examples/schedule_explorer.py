@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Use the runtime substrate directly: explore schedules of a racy program.
+
+The interpreter's seeded nondeterministic scheduler is the reproduction's
+testbed — the same role as the paper's unit-test-plus-random-sleep
+validation (§5.1). This example writes a small producer/consumer program
+with a schedule-dependent leak and maps out which seeds trigger it, then
+confirms the detector flags the same line statically.
+
+Run:  python examples/schedule_explorer.py
+"""
+
+from repro import Project
+
+SOURCE = """package main
+
+func fanOut(n int) int {
+	results := make(chan int)
+	quit := make(chan struct{})
+	go func() {
+		total := 0
+		for i := 0; i < n; i++ {
+			total = total + i
+		}
+		results <- total
+	}()
+	go func() {
+		close(quit)
+	}()
+	select {
+	case v := <-results:
+		return v
+	case <-quit:
+		return -1
+	}
+}
+
+func main() {
+	v := fanOut(3)
+	println("fanOut:", v)
+}
+"""
+
+
+def main() -> None:
+    project = Project.from_source(SOURCE, "fanout.go")
+
+    print("exploring 40 schedules of fanOut(3)...\n")
+    leaky, clean = [], []
+    for outcome in project.stress(entry="main", seeds=40, max_steps=20000):
+        (leaky if outcome.blocked_forever else clean).append(outcome)
+
+    print(f"clean schedules: {len(clean)}   leaking schedules: {len(leaky)}")
+    if leaky:
+        sample = leaky[0]
+        leak = sample.leaked[0]
+        print(f"example leak (seed {sample.seed}): goroutine {leak.gid} in "
+              f"{leak.function} parked forever at a {leak.blocked_kind} on line "
+              f"{leak.blocked_line}")
+
+    print("\nGCatch on the same program:")
+    for bug in project.detect().bmoc.bmoc_channel_bugs():
+        for op in bug.blocked_ops:
+            print(f"  static report: {op}")
+        dynamic_lines = {leak.blocked_line for r in leaky for leak in r.leaked}
+        static_lines = set(bug.lines)
+        print(f"  dynamic blocked lines {sorted(dynamic_lines)} vs "
+              f"static {sorted(static_lines)}")
+        assert static_lines & dynamic_lines
+    print("\nthe detector's witness line matches what actually blocks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml because the offline toolchain lacks the
+``wheel`` package, which pip's PEP 660 editable-install path requires;
+``python setup.py develop`` installs the package without it.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,34 @@
+"""Reproduction of "Automatically Detecting and Fixing Concurrency Bugs in
+Go Software Systems" (GCatch + GFix, ASPLOS 2021) on a pure-Python stack.
+
+Public entry points:
+
+* :class:`repro.Project` — load a MiniGo program, detect, fix, execute;
+* :func:`repro.detect_and_fix` — one-shot pipeline;
+* :func:`repro.run_gcatch` / :func:`repro.detect_bmoc` — the detector;
+* :class:`repro.GFix` — the fixer;
+* :func:`repro.build_program` — the MiniGo frontend + IR;
+* :func:`repro.run_program` — the runtime/testbed.
+"""
+
+from repro.api import Project, detect_and_fix
+from repro.detector.bmoc import detect_bmoc
+from repro.detector.gcatch import run_gcatch
+from repro.fixer.dispatcher import GFix, fix_bugs
+from repro.runtime.scheduler import explore_schedules, run_program
+from repro.ssa.builder import build_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Project",
+    "detect_and_fix",
+    "detect_bmoc",
+    "run_gcatch",
+    "GFix",
+    "fix_bugs",
+    "build_program",
+    "run_program",
+    "explore_schedules",
+    "__version__",
+]

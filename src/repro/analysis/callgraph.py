@@ -1,0 +1,140 @@
+"""Call-graph construction (CHA-style) for MiniGo programs.
+
+Reproduces both the capability and the documented imprecision of the
+call-graph package the paper builds on (§5.1): direct calls and closure
+invocations are resolved exactly; calls through method references or
+function-valued variables are resolved by *signature matching*, and when
+more than one candidate matches, GCatch "ignores the results" — which both
+loses edges (missed bugs) and, where a blocking operation's unblocker sits
+behind such a call, creates false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ssa import ir
+
+
+@dataclass
+class CallSite:
+    caller: str
+    instr: ir.Instr  # Call, Go or Defer
+    callees: List[str]
+    ambiguous: bool = False  # >1 candidate: edge dropped per the paper's rule
+
+
+@dataclass
+class CallGraph:
+    program: ir.Program
+    edges: Dict[str, Set[str]] = field(default_factory=dict)  # caller -> callees
+    reverse: Dict[str, Set[str]] = field(default_factory=dict)  # callee -> callers
+    sites: List[CallSite] = field(default_factory=list)
+    ambiguous_sites: List[CallSite] = field(default_factory=list)
+
+    def callees(self, name: str) -> Set[str]:
+        return self.edges.get(name, set())
+
+    def callers(self, name: str) -> Set[str]:
+        return self.reverse.get(name, set())
+
+    def reachable_from(self, name: str) -> Set[str]:
+        """All functions transitively callable from ``name`` (inclusive)."""
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, set()) - seen)
+        return seen
+
+    def spawn_sites(self, name: str) -> List[Tuple[ir.Go, Optional[str]]]:
+        """Go instructions inside ``name`` with their resolved child function."""
+        func = self.program.functions.get(name)
+        if func is None:
+            return []
+        out: List[Tuple[ir.Go, Optional[str]]] = []
+        for instr in func.instructions():
+            if isinstance(instr, ir.Go):
+                out.append((instr, _static_target(instr.func_op)))
+        return out
+
+
+def _static_target(op: ir.Operand) -> Optional[str]:
+    if isinstance(op, ir.FuncRef) and not op.name.startswith("$"):
+        return op.name
+    return None
+
+
+def build_call_graph(program: ir.Program) -> CallGraph:
+    graph = CallGraph(program)
+    names = set(program.functions)
+    for func in program:
+        graph.edges.setdefault(func.name, set())
+        for instr in func.instructions():
+            if isinstance(instr, (ir.Call, ir.Go, ir.Defer)):
+                site = _resolve_site(program, func.name, instr, names)
+                if site is None:
+                    continue
+                graph.sites.append(site)
+                if site.ambiguous:
+                    graph.ambiguous_sites.append(site)
+                    continue
+                for callee in site.callees:
+                    graph.edges.setdefault(func.name, set()).add(callee)
+                    graph.reverse.setdefault(callee, set()).add(func.name)
+    return graph
+
+
+def _resolve_site(
+    program: ir.Program, caller: str, instr: ir.Instr, names: Set[str]
+) -> Optional[CallSite]:
+    func_op = instr.func_op  # type: ignore[union-attr]
+    if isinstance(func_op, ir.FuncRef):
+        if func_op.name.startswith("$"):
+            return None  # builtin defer pseudo-op
+        if func_op.name in names:
+            return CallSite(caller, instr, [func_op.name])
+        return CallSite(caller, instr, [])  # external stub
+    if isinstance(func_op, ir.MethodRef):
+        candidates = [n for n in names if n.endswith("." + func_op.name)]
+        if len(candidates) == 1:
+            return CallSite(caller, instr, candidates)
+        return CallSite(caller, instr, candidates, ambiguous=len(candidates) > 1)
+    if isinstance(func_op, ir.Var):
+        # function-pointer call: signature matching by parameter count
+        arity = len(instr.args)  # type: ignore[union-attr]
+        candidates = [
+            n
+            for n in names
+            if len(program.functions[n].params) == arity and "." not in n
+        ]
+        if len(candidates) == 1:
+            return CallSite(caller, instr, candidates)
+        return CallSite(caller, instr, candidates, ambiguous=len(candidates) > 1)
+    return None
+
+
+def functions_containing(program: ir.Program, predicate) -> Set[str]:
+    """Names of functions with at least one instruction matching predicate."""
+    out: Set[str] = set()
+    for func in program:
+        if any(predicate(instr) for instr in func.instructions()):
+            out.add(func.name)
+    return out
+
+
+def transitive_touchers(graph: CallGraph, direct: Set[str]) -> Set[str]:
+    """Functions that reach a function in ``direct`` through calls."""
+    out = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in graph.edges.items():
+            if caller not in out and callees & out:
+                out.add(caller)
+                changed = True
+    return out

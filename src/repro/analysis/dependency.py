@@ -1,0 +1,160 @@
+"""Primitive dependency graph and the disentangling policy (§3.2).
+
+Primitive ``a`` depends on ``b`` when one of ``a``'s *unblocking* operations
+(send/recv/close/unlock) is reachable from one of ``b``'s *blocking*
+operations (send/recv/lock/wait) — whether ``b``'s waiter can proceed hinges
+on code that sits behind ``a``'s unblocker. Channels waited on by the same
+``select`` depend on each other. Dependence is transitive.
+
+``Pset(c)`` — the primitives GCatch must analyze together with channel
+``c`` — contains ``c`` plus every primitive with a scope no larger than
+``c``'s that is in a *circular* dependency with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.primitives import Primitive, PrimitiveMap
+from repro.analysis.scope import Scope
+from repro.ssa import cfg, ir
+
+
+@dataclass
+class DependencyGraph:
+    edges: Dict[Primitive, Set[Primitive]] = field(default_factory=dict)
+
+    def add(self, a: Primitive, b: Primitive) -> None:
+        """Record: a depends on b."""
+        self.edges.setdefault(a, set()).add(b)
+
+    def depends(self, a: Primitive, b: Primitive) -> bool:
+        return b in self.edges.get(a, set())
+
+    def close_transitively(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for a, deps in list(self.edges.items()):
+                extra: Set[Primitive] = set()
+                for b in deps:
+                    extra |= self.edges.get(b, set())
+                before = len(deps)
+                deps |= extra
+                if len(deps) != before:
+                    changed = True
+
+    def circular(self, a: Primitive, b: Primitive) -> bool:
+        return self.depends(a, b) and self.depends(b, a)
+
+
+class _ExecReach:
+    """Conservative 'can execute after' relation between operations."""
+
+    def __init__(self, program: ir.Program, call_graph: CallGraph):
+        self.program = program
+        self.call_graph = call_graph
+        self._reach_cache: Dict[str, Set[str]] = {}
+
+    def _reach_functions(self, name: str) -> Set[str]:
+        if name in self._reach_cache:
+            return self._reach_cache[name]
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.call_graph.callees(current) - seen)
+            for _, child in self.call_graph.spawn_sites(current):
+                if child is not None and child not in seen:
+                    frontier.append(child)
+        self._reach_cache[name] = seen
+        return seen
+
+    def op_reaches(self, first_fn: str, first: ir.Instr, second_fn: str, second: ir.Instr) -> bool:
+        if first_fn == second_fn:
+            func = self.program.functions.get(first_fn)
+            if func is not None and cfg.instr_reaches(func, first, second):
+                return True
+        reachable = self._reach_functions(first_fn)
+        return second_fn in reachable and second_fn != first_fn
+
+
+def build_dependency_graph(
+    program: ir.Program, call_graph: CallGraph, pmap: PrimitiveMap
+) -> DependencyGraph:
+    graph = DependencyGraph()
+    reach = _ExecReach(program, call_graph)
+    prims = list(pmap)
+    for a in prims:
+        graph.edges.setdefault(a, set())
+    # rule 1: unblocker of `a` reachable from a blocking op of `b`
+    for a in prims:
+        unblockers = [op for op in a.operations if op.unblocking]
+        if not unblockers:
+            continue
+        for b in prims:
+            if a is b:
+                continue
+            for b_op in b.operations:
+                if not b_op.blocking:
+                    continue
+                if any(
+                    reach.op_reaches(b_op.function, b_op.instr, u.function, u.instr)
+                    for u in unblockers
+                ):
+                    graph.add(a, b)
+                    break
+    # rule 2: channels in the same select depend on each other
+    for a, b, _ in _select_pairs(prims):
+        graph.add(a, b)
+        graph.add(b, a)
+    graph.close_transitively()
+    return graph
+
+
+def _select_pairs(prims: List[Primitive]) -> List[Tuple[Primitive, Primitive, ir.Instr]]:
+    by_select: Dict[int, Set[Primitive]] = {}
+    select_instr: Dict[int, ir.Instr] = {}
+    for prim in prims:
+        for op in prim.operations:
+            if op.select_case is not None:
+                by_select.setdefault(id(op.instr), set()).add(prim)
+                select_instr[id(op.instr)] = op.instr
+    pairs: List[Tuple[Primitive, Primitive, ir.Instr]] = []
+    for key, group in by_select.items():
+        members = list(group)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                pairs.append((a, b, select_instr[key]))
+    return pairs
+
+
+def compute_pset(
+    channel: Primitive,
+    dep_graph: DependencyGraph,
+    scopes: Dict[Primitive, Scope],
+) -> List[Primitive]:
+    """Primitives analyzed together with ``channel`` (paper §3.2).
+
+    A primitive joins Pset when its scope is strictly smaller (creation
+    site breaks size ties, making the order total, so of two same-scope
+    primitives exactly one analysis sees both). Context Done channels never
+    join: the program cannot unblock them, only the runtime can.
+    """
+    my_key = _scope_key(channel, scopes[channel])
+    pset = [channel]
+    for other, scope in scopes.items():
+        if other is channel or other.site.kind == "ctxdone":
+            continue
+        if _scope_key(other, scope) < my_key and dep_graph.circular(channel, other):
+            pset.append(other)
+    return pset
+
+
+def _scope_key(prim: Primitive, scope: Scope) -> Tuple[int, str, int, str]:
+    return (scope.size, prim.site.function, prim.site.line, prim.site.label)

@@ -1,0 +1,104 @@
+"""High-level public API: the end-to-end GCatch + GFix pipeline (Figure 2).
+
+Typical use::
+
+    from repro import Project
+
+    project = Project.from_source(go_source, "mypkg.go")
+    result = project.detect()                  # GCatch: BMOC + traditional
+    for bug in result.bmoc.bmoc_channel_bugs():
+        fix = project.fix(bug)                 # GFix: strategy I -> II -> III
+        if fix.fixed:
+            print(fix.patch.unified_diff())
+
+    outcome = project.run("main", seed=7)      # dynamic validation
+    assert not outcome.blocked_forever
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.detector.gcatch import GCatchResult, run_gcatch
+from repro.detector.reporting import BugReport
+from repro.fixer.dispatcher import FixResult, GFix, GFixSummary
+from repro.runtime.scheduler import ExecutionResult, explore_schedules, run_program
+from repro.ssa import ir
+from repro.ssa.builder import build_program
+
+
+@dataclass
+class Project:
+    """A loaded MiniGo program plus lazily-built analysis artifacts."""
+
+    source: str
+    filename: str
+    program: ir.Program
+    _gfix: Optional[GFix] = None
+
+    @classmethod
+    def from_source(cls, source: str, filename: str = "<minigo>") -> "Project":
+        return cls(source=source, filename=filename, program=build_program(source, filename))
+
+    @classmethod
+    def from_file(cls, path: str) -> "Project":
+        with open(path) as handle:
+            source = handle.read()
+        return cls.from_source(source, path)
+
+    # -- detection ---------------------------------------------------------
+
+    def detect(self, disentangle: bool = True) -> GCatchResult:
+        """Run GCatch (BMOC detector + the five traditional checkers)."""
+        return run_gcatch(self.program, disentangle=disentangle)
+
+    # -- fixing -------------------------------------------------------------
+
+    def fix(self, report: BugReport) -> FixResult:
+        """Run GFix on one detected BMOC bug."""
+        if self._gfix is None:
+            self._gfix = GFix(self.program, self.source)
+        return self._gfix.fix(report)
+
+    def fix_all(self, reports: List[BugReport]) -> GFixSummary:
+        if self._gfix is None:
+            self._gfix = GFix(self.program, self.source)
+        return self._gfix.fix_all(reports)
+
+    def apply_fix(self, fix: FixResult) -> "Project":
+        """Return a new Project with the patch applied."""
+        if fix.patch is None:
+            raise ValueError("fix produced no patch")
+        return Project.from_source(fix.patch.apply(), self.filename)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        entry: str = "main",
+        seed: int = 0,
+        max_steps: int = 100_000,
+        args: Optional[List[Any]] = None,
+    ) -> ExecutionResult:
+        """Execute the program under one seeded schedule."""
+        return run_program(self.program, entry=entry, seed=seed, max_steps=max_steps, args=args)
+
+    def stress(
+        self,
+        entry: str = "main",
+        seeds: int = 20,
+        max_steps: int = 100_000,
+        args: Optional[List[Any]] = None,
+    ) -> List[ExecutionResult]:
+        """Explore many schedules (the paper's random-sleep validation)."""
+        return explore_schedules(
+            self.program, entry=entry, seeds=seeds, max_steps=max_steps, args=args
+        )
+
+
+def detect_and_fix(source: str, filename: str = "<minigo>") -> GFixSummary:
+    """One-shot pipeline: detect all channel-only BMOC bugs and fix them."""
+    project = Project.from_source(source, filename)
+    result = project.detect()
+    return project.fix_all(result.bmoc.bmoc_channel_bugs())

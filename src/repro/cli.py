@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the paper's tooling:
+
+* ``detect FILE``     — run GCatch (BMOC + traditional checkers);
+* ``fix FILE``        — run GCatch, then GFix; print unified diffs;
+* ``run FILE``        — execute under the seeded scheduler, report leaks;
+* ``nonblocking FILE``— the §6 extension (send-on-closed / double-close);
+* ``table1``          — regenerate Table 1 over the synthetic corpus;
+* ``coverage``        — the 49-bug coverage study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import Project
+from repro.detector.nonblocking import detect_nonblocking
+
+
+def _load(path: str) -> Project:
+    return Project.from_file(path)
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    project = _load(args.file)
+    result = project.detect(disentangle=not args.no_disentangle)
+    reports = result.all_reports()
+    if not reports:
+        print("no bugs detected")
+        return 0
+    for report in reports:
+        print(report.render())
+        print()
+    bmoc = len(result.bmoc.reports)
+    print(f"{len(reports)} report(s): {bmoc} BMOC, {len(result.traditional)} traditional "
+          f"({result.elapsed_seconds:.2f}s)")
+    return 1
+
+
+def cmd_fix(args: argparse.Namespace) -> int:
+    project = _load(args.file)
+    result = project.detect()
+    bugs = result.bmoc.bmoc_channel_bugs()
+    if not bugs:
+        print("no channel-only BMOC bugs to fix")
+        return 0
+    summary = project.fix_all(bugs)
+    for fix in summary.results:
+        print(f"-- {fix.report.description}")
+        if fix.fixed:
+            print(f"   strategy: {fix.strategy} ({fix.patch.changed_lines()} line(s))")
+            print(fix.patch.unified_diff(args.file))
+        else:
+            print(f"   not fixed: {fix.reason}")
+        print()
+    fixed = summary.fixed()
+    print(f"fixed {len(fixed)}/{len(summary.results)} bug(s)")
+    if args.write and len(fixed) == 1:
+        patched = fixed[0].patch.apply()
+        with open(args.file, "w") as handle:
+            handle.write(patched)
+        print(f"wrote patched source to {args.file}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    project = _load(args.file)
+    failures = 0
+    for seed in range(args.seeds):
+        outcome = project.run(entry=args.entry, seed=seed, max_steps=args.max_steps)
+        status = "ok"
+        if outcome.panicked:
+            status = f"panic: {outcome.panic_message}"
+        elif outcome.global_deadlock:
+            status = f"DEADLOCK at line(s) {outcome.blocked_lines()}"
+        elif outcome.leaked:
+            leaks = ", ".join(
+                f"g{l.gid}@{l.function}:{l.blocked_line}" for l in outcome.leaked
+            )
+            status = f"LEAKED {leaks}"
+        if status != "ok":
+            failures += 1
+        print(f"seed {seed:3d}: {status}")
+        for line in outcome.output:
+            print(f"          {line}")
+    print(f"{failures}/{args.seeds} schedule(s) misbehaved")
+    return 1 if failures else 0
+
+
+def cmd_nonblocking(args: argparse.Namespace) -> int:
+    project = _load(args.file)
+    result = detect_nonblocking(project.program)
+    if not result.reports:
+        print("no non-blocking channel misuses detected")
+        return 0
+    for report in result.reports:
+        print(report.render())
+        print()
+    return 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.report.experiments import evaluate_corpus
+
+    names = args.apps or None
+    evaluation = evaluate_corpus(names)
+    print(evaluation.render())
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.corpus.bugset import build_bug_set
+    from repro.detector.bmoc import detect_bmoc
+    from repro.ssa.builder import build_program
+
+    detected = 0
+    cases = build_bug_set()
+    for case in cases:
+        program = build_program(case.source, case.case_id + ".go")
+        hit = bool(detect_bmoc(program).reports)
+        detected += hit
+        marker = "DETECTED" if hit else f"missed ({case.miss_reason})"
+        print(f"{case.case_id}: {marker}")
+    print(f"\ncoverage: {detected}/{len(cases)} ({detected / len(cases):.0%}) — paper: 33/49 (67%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GCatch + GFix (ASPLOS 2021) reproduction on MiniGo programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("detect", help="run GCatch on a MiniGo file")
+    p.add_argument("file")
+    p.add_argument("--no-disentangle", action="store_true", help="whole-program ablation mode")
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("fix", help="run GCatch + GFix; print patches")
+    p.add_argument("file")
+    p.add_argument("--write", action="store_true", help="apply a single patch in place")
+    p.set_defaults(func=cmd_fix)
+
+    p = sub.add_parser("run", help="execute under seeded schedules")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--seeds", type=int, default=10)
+    p.add_argument("--max-steps", type=int, default=100_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("nonblocking", help="send-on-closed / double-close detection")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_nonblocking)
+
+    p = sub.add_parser("table1", help="regenerate Table 1 over the corpus")
+    p.add_argument("apps", nargs="*", help="optional app-name subset")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("coverage", help="the 49-bug coverage study")
+    p.set_defaults(func=cmd_coverage)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

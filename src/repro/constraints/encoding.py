@@ -1,0 +1,161 @@
+"""Construction of Φ_R ∧ Φ_B for a suspicious group (paper §3.4).
+
+Given a path combination and a suspicious group (a stop point per blocked
+goroutine), this module produces a :class:`ConstraintSystem`:
+
+* occurrences — every schedulable event of every goroutine, truncated just
+  *before* each group operation (Φ_R asks that everything before the group
+  executes);
+* Φ_order — per-path total order between occurrences of one goroutine;
+* Φ_spawn — a goroutine's first occurrence follows its spawn event;
+* Φ_sync — proceed conditions for every channel/mutex occurrence that must
+  execute, over CB/CLOSED/BS state and P match variables;
+* Φ_B — each group operation must be *unable* to proceed at the end.
+
+The system is decided by :mod:`repro.constraints.solver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.primitives import Primitive
+from repro.constraints.variables import BufferSizeConst, OrderVar
+from repro.detector.paths import OpEvent, PathCombination, SelectChoice, SpawnEvent
+
+DEFAULT_BUFFER_GUESS = 0  # unknown (non-constant) buffer sizes: assume unbuffered
+
+
+@dataclass
+class Occurrence:
+    """A schedulable event occurrence inside the constraint system."""
+
+    occ_id: int
+    gid: int
+    event: object  # OpEvent | SelectChoice | SpawnEvent
+    order_var: OrderVar = None  # type: ignore[assignment]
+
+    @property
+    def line(self) -> int:
+        return getattr(self.event, "line", 0)
+
+    def describe(self) -> str:
+        return f"g{self.gid}:{self.event!r}"
+
+
+@dataclass
+class StopPoint:
+    """One member of the suspicious group: where a goroutine stops/blocks."""
+
+    gid: int
+    event: object  # OpEvent | SelectChoice
+
+    @property
+    def line(self) -> int:
+        return getattr(self.event, "line", 0)
+
+
+@dataclass
+class ConstraintSystem:
+    """Φ_R ∧ Φ_B for one (path combination, suspicious group) pair."""
+
+    occurrences: List[Occurrence] = field(default_factory=list)
+    per_goroutine: Dict[int, List[Occurrence]] = field(default_factory=dict)
+    spawn_of: Dict[int, Optional[Occurrence]] = field(default_factory=dict)
+    stops: List[StopPoint] = field(default_factory=list)
+    buffer_sizes: Dict[Primitive, int] = field(default_factory=dict)
+    order_constraints: List[Tuple[int, int]] = field(default_factory=list)
+
+    def primitives(self) -> List[Primitive]:
+        prims: List[Primitive] = []
+        seen = set()
+
+        def note(prim: Primitive) -> None:
+            if id(prim) not in seen:
+                seen.add(id(prim))
+                prims.append(prim)
+
+        for occ in self.occurrences:
+            if isinstance(occ.event, OpEvent):
+                note(occ.event.prim)
+            elif isinstance(occ.event, SelectChoice):
+                for case in occ.event.pset_cases:
+                    note(case.prim)
+        for stop in self.stops:
+            if isinstance(stop.event, OpEvent):
+                note(stop.event.prim)
+            elif isinstance(stop.event, SelectChoice):
+                for case in stop.event.pset_cases:
+                    note(case.prim)
+        return prims
+
+    def buffer_size(self, prim: Primitive) -> int:
+        return self.buffer_sizes.get(prim, DEFAULT_BUFFER_GUESS)
+
+    # -- pretty-printing, for reports and tests ---------------------------
+
+    def render(self) -> str:
+        lines: List[str] = ["Φ_order ∧ Φ_spawn:"]
+        for a, b in self.order_constraints:
+            lines.append(f"  O{a} < O{b}")
+        lines.append("Φ_sync (proceed):")
+        for occ in self.occurrences:
+            if isinstance(occ.event, OpEvent):
+                lines.append(f"  proceed({occ.describe()})")
+            elif isinstance(occ.event, SelectChoice):
+                lines.append(f"  proceed-select({occ.describe()})")
+        lines.append("Φ_B (block):")
+        for stop in self.stops:
+            lines.append(f"  block(g{stop.gid}:{stop.event!r})")
+        lines.append("buffer sizes:")
+        for prim, size in self.buffer_sizes.items():
+            lines.append(f"  {BufferSizeConst(prim.site.label, size)}")
+        return "\n".join(lines)
+
+
+def encode(combo: PathCombination, stops: List[StopPoint]) -> ConstraintSystem:
+    """Build the constraint system for one suspicious group."""
+    system = ConstraintSystem(stops=stops)
+    stop_index: Dict[int, int] = {}
+    for stop in stops:
+        goroutine = next(g for g in combo.goroutines if g.gid == stop.gid)
+        stop_index[stop.gid] = goroutine.path.events.index(stop.event)
+
+    occ_id = 0
+    spawn_occurrence: Dict[Tuple[int, int], Occurrence] = {}
+    for goroutine in combo.goroutines:
+        events = goroutine.path.events
+        limit = stop_index.get(goroutine.gid, len(events))
+        occs: List[Occurrence] = []
+        for event in events[:limit]:
+            if isinstance(event, (OpEvent, SelectChoice, SpawnEvent)):
+                occ = Occurrence(occ_id=occ_id, gid=goroutine.gid, event=event)
+                occ.order_var = OrderVar(occ_id, getattr(event, "line", 0))
+                occ_id += 1
+                occs.append(occ)
+                system.occurrences.append(occ)
+                if isinstance(event, SpawnEvent):
+                    event_idx = events.index(event)
+                    spawn_occurrence[(goroutine.gid, event_idx)] = occ
+        system.per_goroutine[goroutine.gid] = occs
+        for first, second in zip(occs, occs[1:]):
+            system.order_constraints.append((first.occ_id, second.occ_id))
+
+    # Φ_spawn: a child's occurrences follow its parent's spawn occurrence
+    for goroutine in combo.goroutines:
+        if goroutine.parent_gid is None or goroutine.spawn_index is None:
+            system.spawn_of[goroutine.gid] = None
+            continue
+        occ = spawn_occurrence.get((goroutine.parent_gid, goroutine.spawn_index))
+        system.spawn_of[goroutine.gid] = occ
+        if occ is not None:
+            children = system.per_goroutine.get(goroutine.gid, [])
+            if children:
+                system.order_constraints.append((occ.occ_id, children[0].occ_id))
+
+    # BS constants
+    for prim in system.primitives():
+        size = prim.buffer_size()
+        system.buffer_sizes[prim] = size if size is not None else DEFAULT_BUFFER_GUESS
+    return system

@@ -1,0 +1,79 @@
+"""Constraint variables of the BMOC constraint system (paper §3.4).
+
+The novelty of GCatch's constraint system is that it models the *state* of
+synchronization primitives:
+
+* ``O`` variables — one per operation occurrence, its execution order;
+* ``P`` variables — one per (send, recv) pair on the same channel from
+  different goroutines; P=1 means the two operations match (rendezvous)
+  and execute at the same order index;
+* ``BS`` constants — a channel's buffer size;
+* ``CB`` variables — the number of elements in the channel just before an
+  occurrence executes;
+* ``CLOSED`` variables — whether a closing operation happened earlier.
+
+These classes are a faithful, printable representation of the formulas the
+paper hands to Z3; the dedicated solver in :mod:`repro.constraints.solver`
+decides them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class OrderVar:
+    """O_i: execution order of occurrence ``occ_id``."""
+
+    occ_id: int
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"O{self.occ_id}" + (f"(l{self.line})" if self.line else "")
+
+
+@dataclass(frozen=True)
+class MatchVar:
+    """P(s_i, r_j): sending occurrence i matches receiving occurrence j."""
+
+    send_occ: int
+    recv_occ: int
+
+    def __str__(self) -> str:
+        return f"P(s{self.send_occ},r{self.recv_occ})"
+
+
+@dataclass(frozen=True)
+class BufferSizeConst:
+    """BS: the (static) buffer size of a channel primitive."""
+
+    prim_label: str
+    value: Optional[int]
+
+    def __str__(self) -> str:
+        value = "?" if self.value is None else self.value
+        return f"BS[{self.prim_label}]={value}"
+
+
+@dataclass(frozen=True)
+class ChanStateVar:
+    """CB_i: elements buffered in the channel just before occurrence i."""
+
+    occ_id: int
+    prim_label: str
+
+    def __str__(self) -> str:
+        return f"CB{self.occ_id}[{self.prim_label}]"
+
+
+@dataclass(frozen=True)
+class ClosedVar:
+    """CLOSED_i: whether the channel is closed before occurrence i."""
+
+    occ_id: int
+    prim_label: str
+
+    def __str__(self) -> str:
+        return f"CLOSED{self.occ_id}[{self.prim_label}]"

@@ -1,0 +1,168 @@
+"""Assembly of the 21 synthetic evaluation applications.
+
+Each application is one MiniGo source file seeded with exactly the bug and
+false-positive populations of its Table 1 row (see
+:mod:`repro.corpus.specs`), padded with benign background code proportional
+to the real application's size. False-positive causes are distributed
+globally to match §5.2's breakdown: 20 infeasible-path (9 unsatisfiable
+conditions + 11 loop-unroll), 17 alias (15 channel-through-channel + 2
+slice-stored), 14 call-graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, List, Optional, Tuple
+
+from repro.corpus.specs import TABLE1, AppSpec
+from repro.corpus import templates as T
+from repro.ssa import ir
+from repro.ssa.builder import build_program
+
+
+@dataclass
+class CorpusApp:
+    """One synthetic application: source, seeded instances, and its spec."""
+
+    name: str
+    spec: AppSpec
+    source: str
+    instances: List[T.TemplateInstance] = field(default_factory=list)
+    _program: Optional[ir.Program] = None
+
+    def program(self) -> ir.Program:
+        if self._program is None:
+            self._program = build_program(self.source, f"{self.name}.go")
+        return self._program
+
+    def instances_of(self, category: str, real: bool) -> List[T.TemplateInstance]:
+        return [i for i in self.instances if i.category == category and i.real == real]
+
+    def instance_for_function(self, function: str) -> Optional[T.TemplateInstance]:
+        """Locate the seeded instance whose code contains ``function``."""
+        best = None
+        for instance in self.instances:
+            if instance.marker and instance.marker in function:
+                if best is None or len(instance.marker) > len(best.marker):
+                    best = instance
+        return best
+
+    def loc(self) -> int:
+        return len(self.source.split("\n"))
+
+
+def _sanitize(name: str) -> str:
+    return "".join(ch for ch in name if ch.isalnum())
+
+
+class _FpFeed:
+    """Deterministic, globally balanced feed of FP template constructors.
+
+    The per-cause totals match the paper exactly; a greedy balancer spreads
+    the causes across the applications in Table 1 order.
+    """
+
+    def __init__(self):
+        self._pool: List[Tuple[Callable[[str], T.TemplateInstance], int]] = [
+            (T.fp_nonreadonly, 4),
+            (T.fp_loop_unroll, 11),
+            (T.fp_chan_through_chan, 15),
+            (T.fp_slice_store, 2),
+            (T.fp_interface, 14),
+        ]
+        self._remaining = {fn.__name__: count for fn, count in self._pool}
+
+    def take(self) -> Callable[[str], T.TemplateInstance]:
+        best = max(self._pool, key=lambda entry: self._remaining[entry[0].__name__])
+        name = best[0].__name__
+        if self._remaining[name] <= 0:
+            raise RuntimeError("FP feed exhausted")
+        self._remaining[name] -= 1
+        return best[0]
+
+
+def build_app(spec: AppSpec, fp_feed: _FpFeed) -> CorpusApp:
+    abbrev = _sanitize(spec.name)
+    counter = [0]
+
+    def uid() -> str:
+        counter[0] += 1
+        return f"{abbrev}{counter[0]}"
+
+    instances: List[T.TemplateInstance] = []
+
+    # real BMOC-channel bugs: fixable per strategy, then unfixable by reason
+    for strategy, count in (("buffer", spec.fix_s1), ("defer", spec.fix_s2), ("stop", spec.fix_s3)):
+        variants = T.REAL_BMOCC_BY_STRATEGY[strategy]
+        for i in range(count):
+            instances.append(variants[i % len(variants)](uid()))
+    for reason, count in spec.unfixable:
+        for _ in range(count):
+            instances.append(T.UNFIXABLE_BY_REASON[reason](uid()))
+
+    # real BMOC channel+mutex bugs
+    for _ in range(spec.bmoc_m.real):
+        instances.append(T.bmocm_real(uid()))
+
+    # BMOC false positives
+    for _ in range(spec.bmoc_c.fp):
+        instances.append(fp_feed.take()(uid()))
+    for _ in range(spec.bmoc_m.fp):
+        instances.append(T.fp_bmocm(uid()))
+
+    # traditional bugs and their FPs
+    traditional = [
+        ("forget_unlock", T.FORGET_UNLOCK),
+        ("double_lock", T.DOUBLE_LOCK),
+        ("conflict_lock", T.CONFLICT_LOCK),
+        ("struct_field", T.STRUCT_RACE),
+    ]
+    for attr, category in traditional:
+        cell = getattr(spec, attr)
+        for _ in range(cell.real):
+            instances.append(T.TRADITIONAL_REAL[category](uid()))
+        for _ in range(cell.fp):
+            instances.append(T.TRADITIONAL_FP[category](uid()))
+    for _ in range(spec.fatal.real):
+        instances.append(T.TRADITIONAL_REAL[T.FATAL](uid()))
+
+    # benign background, proportional to the real application's size
+    for _ in range(spec.size_weight):
+        for benign in T.BENIGN_TEMPLATES:
+            instances.append(benign(uid()))
+
+    source = _assemble(spec.name, instances)
+    return CorpusApp(name=spec.name, spec=spec, source=source, instances=instances)
+
+
+def _assemble(name: str, instances: List[T.TemplateInstance]) -> str:
+    parts = [f"// synthetic corpus application: {name}", "package main", ""]
+    for instance in instances:
+        parts.append(instance.code.strip("\n"))
+        parts.append("")
+    # main() exercises every non-test driver so the whole-program ablation
+    # (disentangle=False) has an entry point reaching all the code
+    calls = [
+        f"\t{instance.driver}()"
+        for instance in instances
+        if instance.driver and not instance.driver.startswith("Test")
+    ]
+    parts.append("func main() {")
+    parts.extend(calls)
+    parts.append("}")
+    return "\n".join(parts) + "\n"
+
+
+@lru_cache(maxsize=1)
+def build_corpus() -> Tuple[CorpusApp, ...]:
+    """All 21 applications, in Table 1 order."""
+    feed = _FpFeed()
+    return tuple(build_app(spec, feed) for spec in TABLE1)
+
+
+def corpus_app(name: str) -> CorpusApp:
+    for app in build_corpus():
+        if app.name == name:
+            return app
+    raise KeyError(name)

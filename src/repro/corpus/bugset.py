@@ -1,0 +1,234 @@
+"""The "public Go concurrency bug set" for the coverage study (§5.2).
+
+The paper evaluates GCatch's coverage on 49 BMOC bugs from the bug set
+released with the Tu et al. ASPLOS'19 study, finding 33 detectable (67%).
+This module synthesizes a 49-bug set with the same composition: 33 bugs in
+shapes GCatch detects, and 16 in the four shapes the paper says it misses:
+
+* 2  — the channel operation sits in a critical section whose lock lives in
+       a *caller* of the LCA function, outside the analysis scope;
+* 3  — the blocked goroutine waits for a *particular value*, which needs
+       dynamic information;
+* 9  — the bug is caused by primitives/libraries GCatch does not model
+       (WaitGroup, Cond, time);
+* 2  — a nil channel is assigned and then used, which needs data-flow
+       analysis GCatch does not perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.corpus import templates as T
+
+MISS_LCA = "critical-section-above-lca"
+MISS_DYNAMIC = "needs-dynamic-value"
+MISS_UNMODELED = "unmodeled-primitive"
+MISS_NIL = "nil-channel-dataflow"
+
+
+@dataclass
+class BugCase:
+    """One bug of the public set, as a standalone MiniGo program."""
+
+    case_id: str
+    source: str
+    detectable: bool
+    miss_reason: Optional[str] = None
+    driver: Optional[str] = None
+
+
+def _wrap(code: str) -> str:
+    return "package main\n" + code
+
+
+# ---------------------------------------------------------------------------
+# the four miss shapes
+
+
+def miss_lca_critical(uid: str) -> BugCase:
+    code = f"""
+type guard{uid} struct {{
+	mu sync.Mutex
+}}
+
+func (g *guard{uid}) locked{uid}() {{
+	g.mu.Lock()
+	notify{uid}(g)
+	g.mu.Unlock()
+}}
+
+func notify{uid}(g *guard{uid}) {{
+	ch{uid} := make(chan int)
+	go func() {{
+		g.mu.Lock()
+		ch{uid} <- 1
+		g.mu.Unlock()
+	}}()
+	<-ch{uid}
+}}
+
+func drive{uid}() {{
+	g{uid} := guard{uid}{{}}
+	g{uid}.locked{uid}()
+}}
+"""
+    return BugCase(
+        case_id=uid,
+        source=_wrap(code),
+        detectable=False,
+        miss_reason=MISS_LCA,
+        driver=f"drive{uid}",
+    )
+
+
+def miss_dynamic_value(uid: str) -> BugCase:
+    code = f"""
+func waitReady{uid}() {{
+	st{uid} := make(chan int, 2)
+	st{uid} <- 1
+	st{uid} <- 1
+	for {{
+		v := <-st{uid}
+		st{uid} <- v
+		if v == 2 {{
+			return
+		}}
+	}}
+}}
+
+func drive{uid}() {{
+	waitReady{uid}()
+}}
+"""
+    return BugCase(
+        case_id=uid,
+        source=_wrap(code),
+        detectable=False,
+        miss_reason=MISS_DYNAMIC,
+        driver=f"drive{uid}",
+    )
+
+
+def miss_waitgroup_add(uid: str) -> BugCase:
+    code = f"""
+func task{uid}() int {{
+	return 1
+}}
+
+func gatherAll{uid}() {{
+	var wg{uid} sync.WaitGroup
+	wg{uid}.Add(2)
+	go func() {{
+		task{uid}()
+		wg{uid}.Done()
+	}}()
+	wg{uid}.Wait()
+}}
+
+func drive{uid}() {{
+	gatherAll{uid}()
+}}
+"""
+    return BugCase(
+        case_id=uid,
+        source=_wrap(code),
+        detectable=False,
+        miss_reason=MISS_UNMODELED,
+        driver=f"drive{uid}",
+    )
+
+
+def miss_waitgroup_branch(uid: str) -> BugCase:
+    code = f"""
+func fanIn{uid}(fail bool) {{
+	var wg{uid} sync.WaitGroup
+	wg{uid}.Add(1)
+	go func() {{
+		if fail {{
+			return
+		}}
+		wg{uid}.Done()
+	}}()
+	wg{uid}.Wait()
+}}
+
+func drive{uid}() {{
+	fanIn{uid}(true)
+}}
+"""
+    return BugCase(
+        case_id=uid,
+        source=_wrap(code),
+        detectable=False,
+        miss_reason=MISS_UNMODELED,
+        driver=f"drive{uid}",
+    )
+
+
+def miss_nil_channel(uid: str) -> BugCase:
+    code = f"""
+func nilSend{uid}() {{
+	var ch{uid} chan int
+	go func() {{
+		ch{uid} <- 1
+	}}()
+	println("started")
+}}
+
+func drive{uid}() {{
+	nilSend{uid}()
+}}
+"""
+    return BugCase(
+        case_id=uid,
+        source=_wrap(code),
+        detectable=False,
+        miss_reason=MISS_NIL,
+        driver=f"drive{uid}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# assembly
+
+
+def build_bug_set() -> List[BugCase]:
+    """The 49-bug coverage set: 33 detectable + 16 missed."""
+    cases: List[BugCase] = []
+
+    detectable_templates = (
+        [T.bmocc_s1_ctx] * 14
+        + [T.bmocc_s1_race] * 5
+        + [T.bmocc_s2_fatal] * 4
+        + [T.bmocc_s3_loop] * 5
+        + [T.bmocc_unfix_parent] * 2
+        + [T.bmocc_unfix_complex] * 1
+        + [T.bmocc_unfix_recvused] * 1
+        + [T.bmocm_real] * 1
+    )
+    for i, template in enumerate(detectable_templates):
+        instance = template(f"Set{i:02d}")
+        cases.append(
+            BugCase(
+                case_id=f"Set{i:02d}",
+                source=_wrap(instance.code),
+                detectable=True,
+                driver=instance.driver,
+            )
+        )
+
+    missed = (
+        [miss_lca_critical] * 2
+        + [miss_dynamic_value] * 3
+        + [miss_waitgroup_add] * 5
+        + [miss_waitgroup_branch] * 4
+        + [miss_nil_channel] * 2
+    )
+    for i, factory in enumerate(missed):
+        cases.append(factory(f"Miss{i:02d}"))
+
+    assert len(cases) == 49
+    assert sum(1 for c in cases if c.detectable) == 33
+    return cases

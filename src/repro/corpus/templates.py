@@ -1,0 +1,1245 @@
+"""Parameterized MiniGo code templates for the synthetic corpus.
+
+Every template instantiates one seeded behaviour with a unique identifier
+woven into all its names, so instances never interfere through the call
+graph, alias analysis, or CHA method resolution:
+
+* real BMOC bugs in the shapes the paper describes — single-sending
+  (Figure 1), missing-interaction (Figure 3), multiple-operations
+  (Figure 4), the four GFix-unfixable shapes, and channel+mutex deadlocks;
+* false-positive inducers reproducing GCatch's documented FP causes —
+  non-read-only branch conditions, loop-unroll miscounts,
+  channels-through-channels, slice-stored channels, and interface-callee
+  ambiguity;
+* the five traditional bug categories and their FP shapes;
+* benign background code that must produce no reports.
+
+Each instance records what the detector/fixer are expected to do with it,
+so the Table 1 harness and the test suite can verify seeded-vs-detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+# categories use the BugReport category slugs
+BMOC_CHAN = "bmoc-chan"
+BMOC_MUTEX = "bmoc-mutex"
+FORGET_UNLOCK = "forget-unlock"
+DOUBLE_LOCK = "double-lock"
+CONFLICT_LOCK = "conflict-lock"
+STRUCT_RACE = "struct-race"
+FATAL = "fatal-goroutine"
+
+# FP causes (§5.2 breakdown)
+CAUSE_INFEASIBLE = "infeasible-path"
+CAUSE_ALIAS = "alias-analysis"
+CAUSE_CALLGRAPH = "call-graph"
+
+
+@dataclass
+class TemplateInstance:
+    """One instantiated template plus the behaviour it seeds."""
+
+    uid: str
+    code: str
+    category: str
+    real: bool
+    template: str
+    fix_strategy: Optional[str] = None  # 'buffer' | 'defer' | 'stop' | None
+    unfix_reason: Optional[str] = None
+    fp_cause: Optional[str] = None
+    driver: Optional[str] = None  # entry function for dynamic validation
+    marker: str = ""  # substring identifying this instance's functions
+
+    def __post_init__(self):
+        if not self.marker:
+            self.marker = self.uid
+
+
+# ---------------------------------------------------------------------------
+# real BMOC-channel bugs
+
+
+def bmocc_s1_ctx(uid: str) -> TemplateInstance:
+    """Figure 1: single-sending bug, parent may take the ctx.Done() case."""
+    code = f"""
+func copyStream{uid}() int {{
+	return 0
+}}
+
+func execAttach{uid}(ctx context.Context) int {{
+	outDone{uid} := make(chan int)
+	go func() {{
+		err := copyStream{uid}()
+		outDone{uid} <- err
+	}}()
+	select {{
+	case err := <-outDone{uid}:
+		if err != 0 {{
+			return err
+		}}
+	case <-ctx.Done():
+		return 1
+	}}
+	return 0
+}}
+
+func driveExec{uid}() {{
+	ctx{uid}, cancel{uid} := context.WithCancel()
+	cancel{uid}()
+	execAttach{uid}(ctx{uid})
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_s1_ctx",
+        fix_strategy="buffer",
+        driver=f"driveExec{uid}",
+    )
+
+
+def bmocc_s1_race(uid: str) -> TemplateInstance:
+    """Single-sending bug: result loses a select race against a quit signal."""
+    code = f"""
+func loadData{uid}() int {{
+	return 7
+}}
+
+func fetchPage{uid}() int {{
+	result{uid} := make(chan int)
+	quit{uid} := make(chan struct{{}})
+	go func() {{
+		data := loadData{uid}()
+		result{uid} <- data
+	}}()
+	go func() {{
+		close(quit{uid})
+	}}()
+	select {{
+	case v := <-result{uid}:
+		return v
+	case <-quit{uid}:
+		return 0
+	}}
+}}
+
+func driveFetch{uid}() {{
+	fetchPage{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_s1_race",
+        fix_strategy="buffer",
+        driver=f"driveFetch{uid}",
+    )
+
+
+def bmocc_s2_fatal(uid: str) -> TemplateInstance:
+    """Figure 3: missing-interaction; t.Fatalf skips the unblocking send.
+
+    ``dialPeer`` fails nondeterministically (a racing goroutine flips the
+    error flag), so the bug actually triggers on some schedules.
+    """
+    code = f"""
+func dialPeer{uid}() (int, int) {{
+	e{uid} := 0
+	ready{uid} := make(chan struct{{}}, 1)
+	go func() {{
+		e{uid} = 1
+		ready{uid} <- struct{{}}{{}}
+	}}()
+	select {{
+	case <-ready{uid}:
+	default:
+	}}
+	return 0, e{uid}
+}}
+
+func waitStop{uid}(stop chan struct{{}}) {{
+	<-stop
+}}
+
+func TestDialer{uid}(t *testing.T) {{
+	stop{uid} := make(chan struct{{}})
+	go waitStop{uid}(stop{uid})
+	conn, err := dialPeer{uid}()
+	if err != 0 {{
+		t.Fatalf("dial failed")
+	}}
+	println("conn", conn)
+	stop{uid} <- struct{{}}{{}}
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_s2_fatal",
+        fix_strategy="defer",
+        driver=f"TestDialer{uid}",
+    )
+
+
+def bmocc_s2_panic(uid: str) -> TemplateInstance:
+    """Missing-interaction via panic: a bad config aborts the parent before
+    the unblocking send (the paper's other Strategy-II trigger)."""
+    code = f"""
+func waitFin{uid}(fin chan struct{{}}) {{
+	<-fin
+}}
+
+func loadAll{uid}(bad bool) {{
+	fin{uid} := make(chan struct{{}})
+	go waitFin{uid}(fin{uid})
+	if bad {{
+		panic("bad config")
+	}}
+	fin{uid} <- struct{{}}{{}}
+}}
+
+func driveLoad{uid}() {{
+	bad{uid} := 0
+	flip{uid} := make(chan struct{{}}, 1)
+	go func() {{
+		bad{uid} = 1
+		flip{uid} <- struct{{}}{{}}
+	}}()
+	select {{
+	case <-flip{uid}:
+	default:
+	}}
+	loadAll{uid}(bad{uid} == 1)
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_s2_panic",
+        fix_strategy="defer",
+        driver=f"driveLoad{uid}",
+    )
+
+
+def bmocc_s3_pump(uid: str) -> TemplateInstance:
+    """Multiple-operations variant: a counted producer loop left behind when
+    the consumer quits early."""
+    code = f"""
+func pump{uid}(quit chan struct{{}}) {{
+	feed{uid} := make(chan int)
+	go func() {{
+		for i{uid} := 0; i{uid} < 8; i{uid}++ {{
+			feed{uid} <- i{uid}
+		}}
+		close(feed{uid})
+	}}()
+	for {{
+		select {{
+		case <-quit:
+			return
+		case v, ok := <-feed{uid}:
+			if !ok {{
+				return
+			}}
+			println("v", v)
+		}}
+	}}
+}}
+
+func drivePump{uid}() {{
+	quit{uid} := make(chan struct{{}})
+	close(quit{uid})
+	pump{uid}(quit{uid})
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_s3_pump",
+        fix_strategy="stop",
+        driver=f"drivePump{uid}",
+    )
+
+
+def bmocc_s3_loop(uid: str) -> TemplateInstance:
+    """Figure 4: multiple-operations; child keeps sending after parent left."""
+    code = f"""
+func readLine{uid}() (string, int) {{
+	return "line", 0
+}}
+
+func interactive{uid}(abort chan struct{{}}) {{
+	sched{uid} := make(chan string)
+	go func() {{
+		for {{
+			line, err := readLine{uid}()
+			if err != 0 {{
+				close(sched{uid})
+				return
+			}}
+			sched{uid} <- line
+		}}
+	}}()
+	for {{
+		select {{
+		case <-abort:
+			return
+		case _, ok := <-sched{uid}:
+			if !ok {{
+				return
+			}}
+		}}
+	}}
+}}
+
+func driveLoop{uid}() {{
+	abort{uid} := make(chan struct{{}})
+	close(abort{uid})
+	interactive{uid}(abort{uid})
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_s3_loop",
+        fix_strategy="stop",
+        driver=f"driveLoop{uid}",
+    )
+
+
+def bmocc_unfix_parent(uid: str) -> TemplateInstance:
+    """Real bug where the *parent* blocks: the child may skip its send."""
+    code = f"""
+func waitSignal{uid}() {{
+	sig{uid} := make(chan int)
+	go func() {{
+		select {{
+		case sig{uid} <- 1:
+		default:
+		}}
+	}}()
+	<-sig{uid}
+}}
+
+func driveSignal{uid}() {{
+	waitSignal{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_unfix_parent",
+        unfix_reason="parent-blocked",
+        driver=f"driveSignal{uid}",
+    )
+
+
+def bmocc_unfix_side(uid: str) -> TemplateInstance:
+    """Single-sending shape, but the child has side effects after o2."""
+    code = f"""
+func computeSum{uid}() int {{
+	return 3
+}}
+
+func collect{uid}(ctx context.Context) int {{
+	out{uid} := make(chan int)
+	flag{uid} := 0
+	go func() {{
+		v := computeSum{uid}()
+		out{uid} <- v
+		flag{uid} = 1
+	}}()
+	select {{
+	case v := <-out{uid}:
+		return v + flag{uid}
+	case <-ctx.Done():
+		return 0
+	}}
+}}
+
+func driveCollect{uid}() {{
+	ctx{uid}, cancel{uid} := context.WithCancel()
+	cancel{uid}()
+	collect{uid}(ctx{uid})
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_unfix_side",
+        unfix_reason="side-effects",
+        driver=f"driveCollect{uid}",
+    )
+
+
+def bmocc_unfix_complex(uid: str) -> TemplateInstance:
+    """Real bug involving more than two goroutines: two racing senders."""
+    code = f"""
+func firstSrc{uid}() int {{
+	return 1
+}}
+
+func secondSrc{uid}() int {{
+	return 2
+}}
+
+func race2{uid}(ctx context.Context) int {{
+	res{uid} := make(chan int)
+	go func() {{
+		res{uid} <- firstSrc{uid}()
+	}}()
+	go func() {{
+		res{uid} <- secondSrc{uid}()
+	}}()
+	select {{
+	case v := <-res{uid}:
+		return v
+	case <-ctx.Done():
+		return 0
+	}}
+}}
+
+func driveRace{uid}() {{
+	ctx{uid}, cancel{uid} := context.WithCancel()
+	cancel{uid}()
+	race2{uid}(ctx{uid})
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_unfix_complex",
+        unfix_reason="complex-goroutines",
+        driver=f"driveRace{uid}",
+    )
+
+
+def bmocc_unfix_recvused(uid: str) -> TemplateInstance:
+    """Unknown buffer size + o1 is a receive whose value is used."""
+    code = f"""
+func batchSize{uid}() int {{
+	return 0
+}}
+
+func produceItem{uid}() int {{
+	return 5
+}}
+
+func pipeline{uid}() int {{
+	n{uid} := batchSize{uid}()
+	data{uid} := make(chan int, n{uid})
+	go func() {{
+		data{uid} <- produceItem{uid}()
+	}}()
+	if n{uid} > 0 {{
+		v := <-data{uid}
+		return v
+	}}
+	return 0
+}}
+
+func drivePipe{uid}() {{
+	pipeline{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=True,
+        template="bmocc_unfix_recvused",
+        unfix_reason="recv-value-used",
+        driver=f"drivePipe{uid}",
+    )
+
+
+def bmocm_real(uid: str) -> TemplateInstance:
+    """Channel + mutex circular wait (a BMOC_M bug)."""
+    code = f"""
+func syncPair{uid}() {{
+	var mu{uid} sync.Mutex
+	ch{uid} := make(chan int)
+	go func() {{
+		mu{uid}.Lock()
+		ch{uid} <- 1
+		mu{uid}.Unlock()
+	}}()
+	mu{uid}.Lock()
+	<-ch{uid}
+	mu{uid}.Unlock()
+}}
+
+func drivePair{uid}() {{
+	syncPair{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_MUTEX,
+        real=True,
+        template="bmocm_real",
+        driver=f"drivePair{uid}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# BMOC false positives
+
+
+def fp_nonreadonly(uid: str) -> TemplateInstance:
+    """Infeasible path over a mutable flag GCatch cannot prune."""
+    code = f"""
+func offSwitch{uid}() int {{
+	return 0
+}}
+
+func guarded{uid}() {{
+	ready{uid} := true
+	if offSwitch{uid}() != 0 {{
+		ready{uid} = false
+	}}
+	ch{uid} := make(chan int)
+	go func() {{
+		<-ch{uid}
+	}}()
+	if ready{uid} {{
+		ch{uid} <- 1
+	}}
+}}
+
+func driveGuard{uid}() {{
+	guarded{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=False,
+        template="fp_nonreadonly",
+        fp_cause=CAUSE_INFEASIBLE,
+        driver=f"driveGuard{uid}",
+    )
+
+
+def fp_loop_unroll(uid: str) -> TemplateInstance:
+    """Matched producer/consumer loops; bounded unrolling miscounts them."""
+    code = f"""
+func itemCount{uid}() int {{
+	return 0
+}}
+
+func batchRun{uid}() {{
+	n{uid} := itemCount{uid}()
+	ch{uid} := make(chan int)
+	go func() {{
+		for i{uid} := 0; i{uid} < n{uid}; i{uid}++ {{
+			ch{uid} <- i{uid}
+		}}
+	}}()
+	for j{uid} := 0; j{uid} < n{uid}; j{uid}++ {{
+		<-ch{uid}
+	}}
+}}
+
+func driveBatch{uid}() {{
+	batchRun{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=False,
+        template="fp_loop_unroll",
+        fp_cause=CAUSE_INFEASIBLE,
+        driver=f"driveBatch{uid}",
+    )
+
+
+def fp_chan_through_chan(uid: str) -> TemplateInstance:
+    """A channel passed through another channel; aliasing loses the link."""
+    code = f"""
+func relay{uid}() {{
+	inner{uid} := make(chan int)
+	carrier{uid} := make(chan chan int, 1)
+	go func() {{
+		c{uid} := <-carrier{uid}
+		c{uid} <- 1
+	}}()
+	carrier{uid} <- inner{uid}
+	<-inner{uid}
+}}
+
+func driveRelay{uid}() {{
+	relay{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=False,
+        template="fp_chan_through_chan",
+        fp_cause=CAUSE_ALIAS,
+        driver=f"driveRelay{uid}",
+    )
+
+
+def fp_slice_store(uid: str) -> TemplateInstance:
+    """A channel stored in a slice; loads are not unified with the store."""
+    code = f"""
+func poolStart{uid}() {{
+	ch{uid} := make(chan int)
+	slots{uid} := make([]chan int, 1)
+	slots{uid}[0] = ch{uid}
+	go func() {{
+		c{uid} := slots{uid}[0]
+		c{uid} <- 9
+	}}()
+	<-ch{uid}
+}}
+
+func drivePool{uid}() {{
+	poolStart{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=False,
+        template="fp_slice_store",
+        fp_cause=CAUSE_ALIAS,
+        driver=f"drivePool{uid}",
+    )
+
+
+def fp_interface(uid: str) -> TemplateInstance:
+    """The unblocking send hides behind an ambiguous interface method."""
+    code = f"""
+type alphaN{uid} struct {{
+	pad int
+}}
+
+func (a *alphaN{uid}) Notify{uid}(ch chan int) {{
+	ch <- 1
+}}
+
+type betaN{uid} struct {{
+	pad int
+}}
+
+func (b *betaN{uid}) Notify{uid}(ch chan int) {{
+	ch <- 2
+}}
+
+func dispatch{uid}(w interface{{}}) {{
+	ch{uid} := make(chan int)
+	go func() {{
+		w.Notify{uid}(ch{uid})
+	}}()
+	<-ch{uid}
+}}
+
+func driveDispatch{uid}() {{
+	a{uid} := alphaN{uid}{{}}
+	dispatch{uid}(a{uid})
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_CHAN,
+        real=False,
+        template="fp_interface",
+        fp_cause=CAUSE_CALLGRAPH,
+        driver=f"driveDispatch{uid}",
+    )
+
+
+def fp_bmocm(uid: str) -> TemplateInstance:
+    """Mutex-involving false positive behind a mutable guard flag."""
+    code = f"""
+func darkMode{uid}() int {{
+	return 0
+}}
+
+func guardedLock{uid}() {{
+	var mu{uid} sync.Mutex
+	ch{uid} := make(chan int)
+	live{uid} := true
+	if darkMode{uid}() != 0 {{
+		live{uid} = false
+	}}
+	go func() {{
+		mu{uid}.Lock()
+		<-ch{uid}
+		mu{uid}.Unlock()
+	}}()
+	if live{uid} {{
+		ch{uid} <- 1
+	}}
+	mu{uid}.Lock()
+	mu{uid}.Unlock()
+}}
+
+func driveGLock{uid}() {{
+	guardedLock{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=BMOC_MUTEX,
+        real=False,
+        template="fp_bmocm",
+        fp_cause=CAUSE_INFEASIBLE,
+        driver=f"driveGLock{uid}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# traditional bugs
+
+
+def forget_unlock_real(uid: str) -> TemplateInstance:
+    code = f"""
+func flushCache{uid}(dirty bool) {{
+	var mu{uid} sync.Mutex
+	mu{uid}.Lock()
+	if dirty {{
+		return
+	}}
+	mu{uid}.Unlock()
+}}
+
+func driveFlush{uid}() {{
+	flushCache{uid}(false)
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=FORGET_UNLOCK,
+        real=True,
+        template="forget_unlock_real",
+        driver=f"driveFlush{uid}",
+    )
+
+
+def double_lock_real(uid: str) -> TemplateInstance:
+    code = f"""
+type registry{uid} struct {{
+	mu sync.Mutex
+	n int
+}}
+
+func (r *registry{uid}) size{uid}() int {{
+	r.mu.Lock()
+	n := r.n
+	r.mu.Unlock()
+	return n
+}}
+
+func (r *registry{uid}) report{uid}() int {{
+	r.mu.Lock()
+	n := r.size{uid}()
+	r.mu.Unlock()
+	return n
+}}
+
+func driveRegistry{uid}() {{
+	r{uid} := registry{uid}{{}}
+	r{uid}.size{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=DOUBLE_LOCK,
+        real=True,
+        template="double_lock_real",
+        driver=f"driveRegistry{uid}",
+    )
+
+
+def conflict_lock_real(uid: str) -> TemplateInstance:
+    code = f"""
+type shard{uid} struct {{
+	muA sync.Mutex
+	muB sync.Mutex
+	hits int
+}}
+
+func (s *shard{uid}) readPath{uid}() {{
+	s.muA.Lock()
+	s.muB.Lock()
+	s.hits = s.hits + 1
+	s.muB.Unlock()
+	s.muA.Unlock()
+}}
+
+func (s *shard{uid}) writePath{uid}() {{
+	s.muB.Lock()
+	s.muA.Lock()
+	s.hits = s.hits + 2
+	s.muA.Unlock()
+	s.muB.Unlock()
+}}
+
+func driveShard{uid}() {{
+	s{uid} := shard{uid}{{}}
+	s{uid}.readPath{uid}()
+	s{uid}.writePath{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=CONFLICT_LOCK,
+        real=True,
+        template="conflict_lock_real",
+        driver=f"driveShard{uid}",
+    )
+
+
+def struct_race_real(uid: str) -> TemplateInstance:
+    code = f"""
+type ledger{uid} struct {{
+	mu sync.Mutex
+	total int
+}}
+
+func (l *ledger{uid}) add{uid}(v int) {{
+	l.mu.Lock()
+	l.total = l.total + v
+	l.mu.Unlock()
+}}
+
+func (l *ledger{uid}) read{uid}() int {{
+	l.mu.Lock()
+	v := l.total
+	l.mu.Unlock()
+	return v
+}}
+
+func (l *ledger{uid}) resetRacy{uid}() {{
+	l.total = 0
+}}
+
+func driveLedger{uid}() {{
+	l{uid} := ledger{uid}{{}}
+	l{uid}.add{uid}(4)
+	l{uid}.read{uid}()
+	l{uid}.resetRacy{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=STRUCT_RACE,
+        real=True,
+        template="struct_race_real",
+        driver=f"driveLedger{uid}",
+    )
+
+
+def fatal_real(uid: str) -> TemplateInstance:
+    code = f"""
+func probe{uid}() int {{
+	return 1
+}}
+
+func TestProbe{uid}(t *testing.T) {{
+	var wg{uid} sync.WaitGroup
+	wg{uid}.Add(1)
+	go func() {{
+		ok := probe{uid}()
+		if ok == 0 {{
+			t.Fatalf("probe failed")
+		}}
+		wg{uid}.Done()
+	}}()
+	wg{uid}.Wait()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=FATAL,
+        real=True,
+        template="fatal_real",
+        driver=f"TestProbe{uid}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# traditional false positives
+
+
+def forget_unlock_fp(uid: str) -> TemplateInstance:
+    """Semantic FP: lock and unlock live in wrapper methods."""
+    code = f"""
+type session{uid} struct {{
+	mu sync.Mutex
+	open int
+}}
+
+func (s *session{uid}) begin{uid}() {{
+	s.mu.Lock()
+}}
+
+func (s *session{uid}) end{uid}() {{
+	s.mu.Unlock()
+}}
+
+func transact{uid}() {{
+	s{uid} := session{uid}{{}}
+	s{uid}.begin{uid}()
+	s{uid}.end{uid}()
+}}
+
+func driveSession{uid}() {{
+	transact{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=FORGET_UNLOCK,
+        real=False,
+        template="forget_unlock_fp",
+        driver=f"driveSession{uid}",
+    )
+
+
+def double_lock_fp(uid: str) -> TemplateInstance:
+    """Infeasible-path FP: the re-lock only happens after the unlock."""
+    code = f"""
+func rescan{uid}(mode int) {{
+	var mu{uid} sync.Mutex
+	mu{uid}.Lock()
+	defer mu{uid}.Unlock()
+	if mode == 0 {{
+		mu{uid}.Unlock()
+	}}
+	if mode == 0 {{
+		mu{uid}.Lock()
+	}}
+}}
+
+func driveRescan{uid}() {{
+	rescan{uid}(1)
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=DOUBLE_LOCK,
+        real=False,
+        template="double_lock_fp",
+        driver=f"driveRescan{uid}",
+    )
+
+
+def conflict_lock_fp(uid: str) -> TemplateInstance:
+    """FP: conflicting orders guarded by exclusive conditions, sequential."""
+    code = f"""
+func rebalance{uid}(asc bool) {{
+	var a{uid} sync.Mutex
+	var b{uid} sync.Mutex
+	if asc {{
+		a{uid}.Lock()
+		b{uid}.Lock()
+		b{uid}.Unlock()
+		a{uid}.Unlock()
+	}}
+	if !asc {{
+		b{uid}.Lock()
+		a{uid}.Lock()
+		a{uid}.Unlock()
+		b{uid}.Unlock()
+	}}
+}}
+
+func driveRebalance{uid}() {{
+	rebalance{uid}(true)
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=CONFLICT_LOCK,
+        real=False,
+        template="conflict_lock_fp",
+        driver=f"driveRebalance{uid}",
+    )
+
+
+def struct_race_fp(uid: str) -> TemplateInstance:
+    """Calling-context FP: the 'unprotected' setter only runs under lock."""
+    code = f"""
+type counter{uid} struct {{
+	mu sync.Mutex
+	val int
+}}
+
+func (c *counter{uid}) set{uid}(v int) {{
+	c.val = v
+}}
+
+func (c *counter{uid}) bump{uid}() {{
+	c.mu.Lock()
+	c.val = c.val + 1
+	c.mu.Unlock()
+}}
+
+func (c *counter{uid}) snap{uid}() int {{
+	c.mu.Lock()
+	v := c.val
+	c.mu.Unlock()
+	return v
+}}
+
+func (c *counter{uid}) assign{uid}() {{
+	c.mu.Lock()
+	c.set{uid}(9)
+	c.mu.Unlock()
+}}
+
+func driveCounter{uid}() {{
+	c{uid} := counter{uid}{{}}
+	c{uid}.bump{uid}()
+	c{uid}.snap{uid}()
+	c{uid}.assign{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category=STRUCT_RACE,
+        real=False,
+        template="struct_race_fp",
+        driver=f"driveCounter{uid}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# benign background code
+
+
+def benign_worker_pool(uid: str) -> TemplateInstance:
+    code = f"""
+func poolWork{uid}(v int) int {{
+	return v * 2
+}}
+
+func runPool{uid}() int {{
+	var wg{uid} sync.WaitGroup
+	var mu{uid} sync.Mutex
+	total{uid} := 0
+	for i{uid} := 0; i{uid} < 3; i{uid}++ {{
+		wg{uid}.Add(1)
+		go func() {{
+			v := poolWork{uid}(2)
+			mu{uid}.Lock()
+			total{uid} = total{uid} + v
+			mu{uid}.Unlock()
+			wg{uid}.Done()
+		}}()
+	}}
+	wg{uid}.Wait()
+	return total{uid}
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category="benign",
+        real=False,
+        template="benign_worker_pool",
+        driver=f"runPool{uid}",
+    )
+
+
+def benign_buffered_result(uid: str) -> TemplateInstance:
+    code = f"""
+func slowOp{uid}() int {{
+	return 11
+}}
+
+func asyncResult{uid}() int {{
+	done{uid} := make(chan int, 1)
+	go func() {{
+		done{uid} <- slowOp{uid}()
+	}}()
+	v := <-done{uid}
+	return v
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category="benign",
+        real=False,
+        template="benign_buffered_result",
+        driver=f"asyncResult{uid}",
+    )
+
+
+def benign_compute(uid: str) -> TemplateInstance:
+    code = f"""
+func checksum{uid}(n int) int {{
+	acc{uid} := 0
+	for i{uid} := 0; i{uid} < n; i{uid}++ {{
+		acc{uid} = acc{uid} + i{uid}*i{uid}
+	}}
+	return acc{uid}
+}}
+
+func normalize{uid}(v int) int {{
+	if v < 0 {{
+		return -v
+	}}
+	if v > 1000 {{
+		return 1000
+	}}
+	return v
+}}
+
+func scale{uid}(v int, k int) int {{
+	return normalize{uid}(checksum{uid}(v) + k)
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category="benign",
+        real=False,
+        template="benign_compute",
+        driver=f"scale{uid}",
+    )
+
+
+def benign_guarded_state(uid: str) -> TemplateInstance:
+    code = f"""
+type vault{uid} struct {{
+	mu sync.Mutex
+	keys int
+}}
+
+func (v *vault{uid}) put{uid}() {{
+	v.mu.Lock()
+	v.keys = v.keys + 1
+	v.mu.Unlock()
+}}
+
+func (v *vault{uid}) count{uid}() int {{
+	v.mu.Lock()
+	n := v.keys
+	v.mu.Unlock()
+	return n
+}}
+
+func driveVault{uid}() int {{
+	v{uid} := vault{uid}{{}}
+	v{uid}.put{uid}()
+	return v{uid}.count{uid}()
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category="benign",
+        real=False,
+        template="benign_guarded_state",
+        driver=f"driveVault{uid}",
+    )
+
+
+def benign_rendezvous(uid: str) -> TemplateInstance:
+    code = f"""
+func ping{uid}() int {{
+	hello{uid} := make(chan int)
+	go func() {{
+		v := <-hello{uid}
+		println("got", v)
+	}}()
+	hello{uid} <- 42
+	return 0
+}}
+"""
+    return TemplateInstance(
+        uid=uid,
+        code=code,
+        category="benign",
+        real=False,
+        template="benign_rendezvous",
+        driver=f"ping{uid}",
+    )
+
+
+BENIGN_TEMPLATES: List[Callable[[str], TemplateInstance]] = [
+    benign_worker_pool,
+    benign_buffered_result,
+    benign_compute,
+    benign_guarded_state,
+    benign_rendezvous,
+]
+
+REAL_BMOCC_BY_STRATEGY: Dict[str, List[Callable[[str], TemplateInstance]]] = {
+    "buffer": [bmocc_s1_ctx, bmocc_s1_race],
+    "defer": [bmocc_s2_fatal, bmocc_s2_panic],
+    "stop": [bmocc_s3_loop, bmocc_s3_pump],
+}
+
+UNFIXABLE_BY_REASON: Dict[str, Callable[[str], TemplateInstance]] = {
+    "parent-blocked": bmocc_unfix_parent,
+    "side-effects": bmocc_unfix_side,
+    "complex-goroutines": bmocc_unfix_complex,
+    "recv-value-used": bmocc_unfix_recvused,
+}
+
+FP_BMOCC_BY_CAUSE: Dict[str, List[Callable[[str], TemplateInstance]]] = {
+    CAUSE_INFEASIBLE: [fp_nonreadonly, fp_loop_unroll],
+    CAUSE_ALIAS: [fp_chan_through_chan, fp_slice_store],
+    CAUSE_CALLGRAPH: [fp_interface],
+}
+
+TRADITIONAL_REAL: Dict[str, Callable[[str], TemplateInstance]] = {
+    FORGET_UNLOCK: forget_unlock_real,
+    DOUBLE_LOCK: double_lock_real,
+    CONFLICT_LOCK: conflict_lock_real,
+    STRUCT_RACE: struct_race_real,
+    FATAL: fatal_real,
+}
+
+TRADITIONAL_FP: Dict[str, Callable[[str], TemplateInstance]] = {
+    FORGET_UNLOCK: forget_unlock_fp,
+    DOUBLE_LOCK: double_lock_fp,
+    CONFLICT_LOCK: conflict_lock_fp,
+    STRUCT_RACE: struct_race_fp,
+}

@@ -1,0 +1,239 @@
+"""The BMOC detector: Algorithm 1 of the paper, end to end.
+
+For every channel in the program: disentangle (compute scope and Pset),
+enumerate per-goroutine paths and path combinations, compute suspicious
+groups, encode Φ_R ∧ Φ_B and hand it to the solver. Each satisfiable group
+becomes a bug report carrying the witness schedule.
+
+``disentangle=False`` reproduces the paper's ablation (§5.2): every channel
+is analyzed with *all* primitives in the whole program starting from
+``main``, which is dramatically slower — the measurement behind the
+">115x slowdown" result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.alias import run_alias_analysis
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.dependency import build_dependency_graph, compute_pset
+from repro.analysis.primitives import Primitive, find_primitives
+from repro.analysis.scope import Scope, compute_all_scopes
+from repro.constraints.encoding import StopPoint, encode
+from repro.constraints.solver import solve
+from repro.detector.paths import (
+    OpEvent,
+    PathCombination,
+    PathEnumerator,
+    SelectChoice,
+    enumerate_combinations,
+)
+from repro.detector.reporting import BlockedOp, BugReport, dedup_reports
+from repro.detector.suspicious import enumerate_groups
+
+
+@dataclass
+class DetectionStats:
+    channels_analyzed: int = 0
+    combinations: int = 0
+    groups_checked: int = 0
+    solver_calls: int = 0
+    sat_results: int = 0
+    elapsed_seconds: float = 0.0
+    per_channel_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class DetectionResult:
+    reports: List[BugReport]
+    stats: DetectionStats
+
+    def bmoc_channel_bugs(self) -> List[BugReport]:
+        return [r for r in self.reports if r.category == "bmoc-chan"]
+
+    def bmoc_mutex_bugs(self) -> List[BugReport]:
+        return [r for r in self.reports if r.category == "bmoc-mutex"]
+
+
+class BMOCDetector:
+    """Detects blocking misuse-of-channel bugs in a lowered program."""
+
+    def __init__(
+        self,
+        program,
+        disentangle: bool = True,
+        max_loop_unroll: int = 2,
+        prune_infeasible: bool = True,
+    ):
+        self.program = program
+        self.disentangle = disentangle
+        self.max_loop_unroll = max_loop_unroll
+        self.prune_infeasible = prune_infeasible
+        self.call_graph = build_call_graph(program)
+        self.alias = run_alias_analysis(program, self.call_graph)
+        self.pmap = find_primitives(program, self.call_graph, self.alias)
+        self.dep_graph = build_dependency_graph(program, self.call_graph, self.pmap)
+        self.scopes = compute_all_scopes(self.pmap, self.call_graph)
+
+    # -- public ---------------------------------------------------------------
+
+    def detect(self) -> DetectionResult:
+        start = time.perf_counter()
+        stats = DetectionStats()
+        reports: List[BugReport] = []
+        for channel in self.pmap.channels():
+            if channel.site.kind == "ctxdone":
+                # Done channels are closed by the runtime, not the program;
+                # waiting on them forever is normal behaviour
+                continue
+            chan_start = time.perf_counter()
+            stats.channels_analyzed += 1
+            reports.extend(self._analyze_channel(channel, stats))
+            stats.per_channel_seconds[str(channel.site)] = time.perf_counter() - chan_start
+        stats.elapsed_seconds = time.perf_counter() - start
+        return DetectionResult(reports=dedup_reports(reports), stats=stats)
+
+    # -- per-channel analysis ----------------------------------------------------
+
+    def _analyze_channel(self, channel: Primitive, stats: DetectionStats) -> List[BugReport]:
+        if self.disentangle:
+            scope = self.scopes[channel]
+            pset = compute_pset(channel, self.dep_graph, self.scopes)
+            roots = self._roots_for(channel, scope)
+            scope_functions = scope.functions
+        else:
+            # ablation: the whole program and every primitive, from main().
+            # Done channels stay excluded in both modes: only the runtime
+            # can unblock them, so requiring them to proceed is meaningless.
+            pset = [p for p in self.pmap if p.site.kind != "ctxdone"]
+            scope_functions = set(self.program.functions)
+            roots = ["main"] if "main" in self.program.functions else []
+        reports: List[BugReport] = []
+        for root in roots:
+            enumerator = PathEnumerator(
+                self.program,
+                self.call_graph,
+                self.alias,
+                self.pmap,
+                pset,
+                scope_functions,
+                max_loop_unroll=self.max_loop_unroll,
+                prune_infeasible=self.prune_infeasible,
+            )
+            combos = enumerate_combinations(enumerator, root)
+            stats.combinations += len(combos)
+            for combo in combos:
+                reports.extend(self._check_combination(channel, combo, scope_functions, stats))
+        return reports
+
+    def _roots_for(self, channel: Primitive, scope: Scope) -> List[str]:
+        if scope.lca is not None:
+            return [scope.lca]
+        creation = [op.function for op in channel.operations if op.kind == "create"]
+        return [f for f in creation if f in self.program.functions][:1]
+
+    def _check_combination(
+        self,
+        channel: Primitive,
+        combo: PathCombination,
+        scope_functions,
+        stats: DetectionStats,
+    ) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for group in enumerate_groups(combo):
+            if not self._group_targets_channel(group, channel):
+                continue
+            stats.groups_checked += 1
+            system = encode(combo, group)
+            stats.solver_calls += 1
+            solution = solve(system)
+            if solution is None:
+                continue
+            stats.sat_results += 1
+            reports.append(self._report(channel, combo, group, solution, scope_functions))
+        return reports
+
+    def _group_targets_channel(self, group: List[StopPoint], channel: Primitive) -> bool:
+        """Attribute a group to the channel under analysis (avoids
+        re-reporting the same mutex-only group once per channel)."""
+        for stop in group:
+            event = stop.event
+            if isinstance(event, OpEvent) and event.prim is channel:
+                return True
+            if isinstance(event, SelectChoice):
+                if any(case.prim is channel for case in event.pset_cases):
+                    return True
+        return False
+
+    def _report(
+        self,
+        channel: Primitive,
+        combo: PathCombination,
+        group: List[StopPoint],
+        solution,
+        scope_functions,
+    ) -> BugReport:
+        blocked: List[BlockedOp] = []
+        involves_mutex = False
+        for stop in group:
+            event = stop.event
+            if isinstance(event, OpEvent):
+                if event.prim.is_mutex:
+                    involves_mutex = True
+                blocked.append(
+                    BlockedOp(
+                        kind=event.kind,
+                        line=event.line,
+                        function=self._function_of(combo, stop.gid),
+                        prim_label=event.prim.site.label or str(event.prim.site),
+                    )
+                )
+            elif isinstance(event, SelectChoice):
+                labels = ",".join(c.prim.site.label for c in event.pset_cases)
+                blocked.append(
+                    BlockedOp(
+                        kind="select",
+                        line=event.line,
+                        function=self._function_of(combo, stop.gid),
+                        prim_label=labels,
+                    )
+                )
+        category = "bmoc-mutex" if involves_mutex else "bmoc-chan"
+        description = (
+            f"goroutine(s) block forever on channel {channel.site.label!r} "
+            f"(created at {channel.site.function}:{channel.site.line})"
+        )
+        return BugReport(
+            category=category,
+            primitive=channel,
+            blocked_ops=blocked,
+            description=description,
+            combination=combo,
+            stops=list(group),
+            witness=solution,
+            scope_functions=frozenset(scope_functions),
+        )
+
+    def _function_of(self, combo: PathCombination, gid: int) -> str:
+        for goroutine in combo.goroutines:
+            if goroutine.gid == gid:
+                return goroutine.path.function
+        return "?"
+
+
+def detect_bmoc(
+    program,
+    disentangle: bool = True,
+    max_loop_unroll: int = 2,
+    prune_infeasible: bool = True,
+) -> DetectionResult:
+    """Convenience wrapper: run the BMOC detector over a program."""
+    return BMOCDetector(
+        program,
+        disentangle=disentangle,
+        max_loop_unroll=max_loop_unroll,
+        prune_infeasible=prune_infeasible,
+    ).detect()

@@ -1,0 +1,74 @@
+"""Suspicious-group computation (paper §3.4, line 15 of Algorithm 1).
+
+A suspicious group picks, for each goroutine of a path combination, either
+"runs to completion" or "stops at one of its blocking operations", with at
+least one goroutine stopping. Members must be unable to unblock each other:
+a send and a receive on the same primitive (directly or through a stopped
+select's cases) disqualify the group, because the pair could rendezvous.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.constraints.encoding import StopPoint
+from repro.detector.paths import OpEvent, PathCombination, SelectChoice
+
+MAX_GROUPS_PER_COMBINATION = 64
+
+COMPLETE = None  # sentinel choice: the goroutine finishes its path
+
+
+def _offers(event: object) -> Set[Tuple[str, int]]:
+    """(kind, primitive identity) pairs a stopped event is waiting on."""
+    if isinstance(event, OpEvent):
+        return {(event.kind, id(event.prim))}
+    if isinstance(event, SelectChoice):
+        return {(case.kind, id(case.prim)) for case in event.pset_cases}
+    return set()
+
+
+def _mutually_unblocking(a: object, b: object) -> bool:
+    """Could stopped events a and b release each other?"""
+    complements = {"send": "recv", "recv": "send", "condwait": "signal"}
+    offers_b = _offers(b)
+    for kind, prim in _offers(a):
+        complement = complements.get(kind)
+        if complement is not None and (complement, prim) in offers_b:
+            return True
+    return False
+
+
+def enumerate_groups(combo: PathCombination) -> Iterator[List[StopPoint]]:
+    """Yield suspicious groups for one path combination."""
+    per_goroutine: List[List[Optional[object]]] = []
+    for goroutine in combo.goroutines:
+        choices: List[Optional[object]] = [COMPLETE]
+        for index in goroutine.path.blocking_points():
+            choices.append(goroutine.path.events[index])
+        per_goroutine.append(choices)
+
+    produced = 0
+    for selection in itertools.product(*per_goroutine):
+        stops = [
+            StopPoint(gid=combo.goroutines[i].gid, event=event)
+            for i, event in enumerate(selection)
+            if event is not COMPLETE
+        ]
+        if not stops:
+            continue
+        if _group_invalid(stops):
+            continue
+        yield stops
+        produced += 1
+        if produced >= MAX_GROUPS_PER_COMBINATION:
+            return
+
+
+def _group_invalid(stops: List[StopPoint]) -> bool:
+    for i, a in enumerate(stops):
+        for b in stops[i + 1 :]:
+            if _mutually_unblocking(a.event, b.event):
+                return True
+    return False

@@ -1,0 +1,53 @@
+"""Double-lock checker: inter-procedural, path-sensitive detection of
+re-acquiring a held (non-reentrant) mutex (paper §3.5)."""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.alias import AliasAnalysis
+from repro.detector.reporting import BlockedOp, BugReport
+from repro.detector.traditional.locksets import lock_summary, walk_function
+from repro.ssa import ir
+
+
+def check_double_lock(program: ir.Program, alias: AliasAnalysis) -> List[BugReport]:
+    reports: List[BugReport] = []
+    seen: Set[Tuple] = set()
+    summary = lock_summary(program, alias)
+    for func in program:
+        for path in walk_function(func, alias):
+            # intra-procedural: a Lock while the same site is already held
+            for site, line in path.double_locks:
+                key = (func.name, str(site), line)
+                if key not in seen:
+                    seen.add(key)
+                    reports.append(_report(func.name, site, line, "re-locked on the same path"))
+            # inter-procedural: a call made while holding a site the callee
+            # may itself acquire
+            for call in path.calls:
+                callee_locks = summary.get(call.callee, set())
+                for site in call.held & callee_locks:
+                    key = (func.name, str(site), call.line, call.callee)
+                    if key not in seen:
+                        seen.add(key)
+                        reports.append(
+                            _report(
+                                func.name,
+                                site,
+                                call.line,
+                                f"held across call to {call.callee} which locks it again",
+                            )
+                        )
+    return reports
+
+
+def _report(function: str, site, line: int, why: str) -> BugReport:
+    return BugReport(
+        category="double-lock",
+        primitive=None,
+        blocked_ops=[
+            BlockedOp(kind="lock", line=line, function=function, prim_label=site.label)
+        ],
+        description=f"double lock of {site.label!r} in {function}: {why}",
+    )

@@ -1,0 +1,52 @@
+"""Forget-unlock checker: intra-procedural, path-sensitive detection of
+lock-without-unlock (paper §3.5, Table 1 column "Forget Unlock")."""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.alias import AliasAnalysis
+from repro.detector.reporting import BlockedOp, BugReport
+from repro.detector.traditional.locksets import walk_function
+from repro.ssa import ir
+
+
+def check_forget_unlock(program: ir.Program, alias: AliasAnalysis) -> List[BugReport]:
+    reports: List[BugReport] = []
+    seen: Set[Tuple] = set()
+    for func in program:
+        for path in walk_function(func, alias):
+            for ret in path.returns:
+                for site in ret.held:
+                    acquire_line = _acquire_line(path, site)
+                    key = (func.name, str(site), acquire_line)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    reports.append(
+                        BugReport(
+                            category="forget-unlock",
+                            primitive=None,
+                            blocked_ops=[
+                                BlockedOp(
+                                    kind="lock",
+                                    line=acquire_line,
+                                    function=func.name,
+                                    prim_label=site.label,
+                                )
+                            ],
+                            description=(
+                                f"{func.name} returns at line {ret.line} still holding "
+                                f"{site.label!r} locked at line {acquire_line}"
+                            ),
+                            extra_lines=[ret.line],
+                        )
+                    )
+    return reports
+
+
+def _acquire_line(path, site) -> int:
+    for acquire in reversed(path.acquires):
+        if acquire.site == site:
+            return acquire.line
+    return 0

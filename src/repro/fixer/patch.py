@@ -1,0 +1,95 @@
+"""Patch representation and source surgery for GFix.
+
+GFix patches are source-to-source edits (the paper dumps modified ASTs back
+to Go source); here they are expressed as line-level operations on the
+MiniGo source so that the changed-line metric of §5.3 (added + removed +
+replaced lines) is computed exactly the way the paper counts it.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class LineEdit:
+    """One edit: replace source line ``line`` (1-based) with ``new_lines``.
+
+    ``new_lines=[]`` deletes the line; ``line=None`` with ``after`` set
+    inserts after that line.
+    """
+
+    line: Optional[int] = None
+    after: Optional[int] = None
+    new_lines: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Patch:
+    """A synthesized fix for one BMOC bug."""
+
+    strategy: str  # 'buffer' | 'defer' | 'stop'
+    description: str
+    original: str
+    edits: List[LineEdit] = field(default_factory=list)
+
+    def apply(self) -> str:
+        lines = self.original.split("\n")
+        replacements: dict = {}
+        insertions: dict = {}
+        for edit in self.edits:
+            if edit.line is not None:
+                replacements[edit.line] = edit.new_lines
+            elif edit.after is not None:
+                insertions.setdefault(edit.after, []).extend(edit.new_lines)
+        out: List[str] = []
+        for i, line in enumerate(lines, start=1):
+            if i in replacements:
+                out.extend(replacements[i])
+            else:
+                out.append(line)
+            if i in insertions:
+                out.extend(insertions[i])
+        if 0 in insertions:
+            out = insertions[0] + out
+        return "\n".join(out)
+
+    def changed_lines(self) -> int:
+        """The paper's patch-readability metric: added + removed lines, with
+        a replaced line counted once (Figure 1's patch "changes one line")."""
+        before = self.original.split("\n")
+        after = self.apply().split("\n")
+        matcher = difflib.SequenceMatcher(a=before, b=after, autojunk=False)
+        changed = 0
+        for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+            if tag == "replace":
+                changed += max(i2 - i1, j2 - j1)
+            elif tag == "delete":
+                changed += i2 - i1
+            elif tag == "insert":
+                changed += j2 - j1
+        return changed
+
+    def unified_diff(self, filename: str = "patched.go") -> str:
+        before = self.original.split("\n")
+        after = self.apply().split("\n")
+        return "\n".join(
+            difflib.unified_diff(before, after, fromfile=filename, tofile=filename, lineterm="")
+        )
+
+
+def indent_of(source: str, line: int) -> str:
+    lines = source.split("\n")
+    if 1 <= line <= len(lines):
+        text = lines[line - 1]
+        return text[: len(text) - len(text.lstrip())]
+    return "\t"
+
+
+def line_text(source: str, line: int) -> str:
+    lines = source.split("\n")
+    if 1 <= line <= len(lines):
+        return lines[line - 1]
+    return ""

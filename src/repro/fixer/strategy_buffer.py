@@ -1,0 +1,66 @@
+"""Strategy I — increasing buffer size (paper §4.2).
+
+Fixes *single-sending* bugs: Go-B conducts exactly one sending operation on
+an unbuffered channel; raising the buffer size from zero to one makes the
+send non-blocking without changing semantics (the common "goroutine sends
+its result at the end of a task" pattern). One changed line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.fixer.patch import LineEdit, Patch, line_text
+from repro.fixer.safety import (
+    REASON_SIDE_EFFECTS,
+    BugShape,
+    op_in_loop,
+    side_effects_after,
+)
+from repro.ssa import ir
+
+_MAKE_CHAN_RE = re.compile(r"make\((chan\b[^(),]*)\)")
+
+
+def try_strategy_buffer(program: ir.Program, source: str, shape: BugShape) -> Optional[Patch]:
+    """Attempt Strategy I; returns a Patch or None when the bug doesn't fit."""
+    if shape.child_func is None or shape.blocked_event is None:
+        return None
+    # step 1: exactly one blocking op, a send, on an unbuffered channel
+    if shape.blocked_event.kind != "send":
+        return None
+    if shape.channel.buffer_size() != 0:
+        return None
+    # step 2: the channel is shared by exactly two goroutines — established
+    # by analyze_shape — and the child executes o2; the child must also be
+    # spawned once (not inside a loop), otherwise multiple children send
+    if not shape.blocked_in_child or shape.spawn_in_loop:
+        return None
+    # step 3: Go-B conducts exactly one operation on c, and not in a loop
+    if len(shape.child_ops) != 1:
+        return None
+    if any(op.kind != "send" for op in shape.child_ops):
+        return None
+    if op_in_loop(program, shape.child_ops[0]):
+        return None
+    # step 4: unblocking o2 must not leak side effects beyond Go-B
+    effects = side_effects_after(program, shape.child_func, shape.blocked_event.instr)
+    if effects:
+        shape.reject_reason = REASON_SIDE_EFFECTS
+        return None
+    # transform: make(chan T) -> make(chan T, 1) at the creation line
+    text = line_text(source, shape.creation_line)
+    match = _MAKE_CHAN_RE.search(text)
+    if match is None:
+        return None
+    new_text = text[: match.start()] + f"make({match.group(1)}, 1)" + text[match.end() :]
+    return Patch(
+        strategy="buffer",
+        description=(
+            f"increase buffer size of {shape.channel.site.label!r} from 0 to 1 "
+            f"(line {shape.creation_line})"
+        ),
+        original=source,
+        edits=[LineEdit(line=shape.creation_line, new_lines=[new_text])],
+    )

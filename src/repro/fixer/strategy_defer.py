@@ -1,0 +1,210 @@
+"""Strategy II — deferring the unblocking operation (paper §4.3).
+
+Fixes *missing-interaction* bugs: Go-A can leave the function where ``c``
+is valid (via return, ``t.Fatal`` or panic) without executing ``o1``,
+leaving Go-B blocked at ``o2``. The patch wraps ``o1`` in a ``defer``
+placed right after the channel declaration, so Go's runtime performs it on
+every exit path, and removes the original ``o1`` statements (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import re
+
+from repro.analysis.primitives import Operation
+from repro.fixer.patch import LineEdit, Patch, indent_of, line_text
+from repro.fixer.safety import (
+    REASON_RECV_VALUE_USED,
+    REASON_SIDE_EFFECTS,
+    BugShape,
+    op_in_loop,
+    recv_value_used,
+    side_effects_after,
+)
+from repro.ssa import cfg, ir
+
+_COMPLEMENT = {"recv": ("send", "close"), "send": ("recv",)}
+
+
+def try_strategy_defer(program: ir.Program, source: str, shape: BugShape) -> Optional[Patch]:
+    """Attempt Strategy II; returns a Patch or None when the bug doesn't fit."""
+    if shape.child_func is None or shape.blocked_event is None:
+        return None
+    if not shape.blocked_in_child or shape.spawn_in_loop:
+        return None
+    # o2 may be a send OR a receive here; still exactly one op in Go-B
+    if shape.blocked_event.kind not in ("send", "recv"):
+        return None
+    if len(shape.child_ops) != 1 or op_in_loop(program, shape.child_ops[0]):
+        return None
+    effects = side_effects_after(program, shape.child_func, shape.blocked_event.instr)
+    if effects:
+        shape.reject_reason = REASON_SIDE_EFFECTS
+        return None
+    # the static o1s: parent-side operations that can unblock o2
+    o1_kinds = _COMPLEMENT[shape.blocked_event.kind]
+    o1s = [op for op in shape.parent_ops if op.kind in o1_kinds]
+    if not o1s:
+        return None
+    kinds = {op.kind for op in o1s}
+    if len(kinds) != 1:
+        return None
+    o1_kind = kinds.pop()
+    # a received value that is used cannot be deferred (paper: 1 such bug)
+    if o1_kind == "recv" and any(recv_value_used(program, op) for op in o1s):
+        shape.reject_reason = REASON_RECV_VALUE_USED
+        return None
+    # moving an o1 to function exit is unsafe when synchronization happens
+    # between the o1 and the return post-dominating it
+    creator = program.functions.get(shape.creator_func)
+    if creator is None:
+        return None
+    for op in o1s:
+        if _sync_between_o1_and_return(creator, op):
+            shape.reject_reason = REASON_SIDE_EFFECTS
+            return None
+    # placement (paper §4.3 step 4): all-close / all-recv / sends of the
+    # same constant go right after the channel declaration; sends of the
+    # same *variable* go after the defining site, provided it dominates
+    # every return of the creator
+    placement = _defer_placement(program, source, shape, o1_kind, o1s)
+    if placement is None:
+        return None
+    defer_lines, insert_after = placement
+    edits: List[LineEdit] = [LineEdit(after=insert_after, new_lines=defer_lines)]
+    for op in o1s:
+        edits.append(LineEdit(line=op.line, new_lines=[]))  # remove original o1
+    return Patch(
+        strategy="defer",
+        description=(
+            f"defer the {o1_kind} on {shape.channel.site.label!r} so every exit "
+            f"path of {shape.creator_func} performs it"
+        ),
+        original=source,
+        edits=edits,
+    )
+
+
+def _sync_between_o1_and_return(creator: ir.Function, op: Operation) -> bool:
+    """Any synchronization operation after ``op`` within the creator?"""
+    if op.instr is None:
+        return False
+    block = cfg.instruction_block(creator, op.instr)
+    if block is None:
+        return False
+    instrs = list(block.all_instrs())
+    idx = next(i for i, x in enumerate(instrs) if x is op.instr)
+    pending = instrs[idx + 1 :]
+    seen = set()
+    stack = list(block.successors())
+    while stack:
+        succ = stack.pop()
+        if succ.id in seen:
+            continue
+        seen.add(succ.id)
+        pending.extend(succ.all_instrs())
+        stack.extend(succ.successors())
+    return any(
+        isinstance(
+            i, (ir.Send, ir.Recv, ir.Close, ir.Select, ir.Lock, ir.Unlock, ir.WgWait, ir.Go)
+        )
+        for i in pending
+    )
+
+
+_CONSTANT_PAYLOAD = re.compile(r'^(\d+|true|false|nil|struct\{\}\{\}|"[^"]*")$')
+_IDENT_PAYLOAD = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _defer_placement(
+    program: ir.Program,
+    source: str,
+    shape: BugShape,
+    o1_kind: str,
+    o1s: List[Operation],
+) -> Optional[tuple]:
+    """The defer's text plus the line it goes after, or None to reject."""
+    chan_name = _channel_source_name(source, shape)
+    if chan_name is None:
+        return None
+    indent = indent_of(source, shape.creation_line)
+    if o1_kind == "close":
+        return [f"{indent}defer close({chan_name})"], shape.creation_line
+    if o1_kind == "recv":
+        lines = [f"{indent}defer func() {{", f"{indent}\t<-{chan_name}", f"{indent}}}()"]
+        return lines, shape.creation_line
+    # sends: all o1s must send the same expression
+    payloads = {_send_payload(source, op.line, chan_name) for op in o1s}
+    if len(payloads) != 1:
+        return None
+    payload = payloads.pop()
+    if payload is None:
+        return None
+    lines = [
+        f"{indent}defer func() {{",
+        f"{indent}\t{chan_name} <- {payload}",
+        f"{indent}}}()",
+    ]
+    if _CONSTANT_PAYLOAD.match(payload):
+        return lines, shape.creation_line
+    if _IDENT_PAYLOAD.match(payload):
+        define_line = _dominating_definition_line(program, shape.creator_func, payload)
+        if define_line is None or define_line < shape.creation_line:
+            return None
+        indent = indent_of(source, define_line)
+        lines = [
+            f"{indent}defer func() {{",
+            f"{indent}\t{chan_name} <- {payload}",
+            f"{indent}}}()",
+        ]
+        return lines, define_line
+    return None  # other payload shapes: GFix does not fix the bug (§4.3)
+
+
+def _dominating_definition_line(
+    program: ir.Program, creator_name: str, var_source_name: str
+) -> Optional[int]:
+    """Source line defining ``var_source_name``, when it dominates every
+    return of the creator function; None otherwise."""
+    from repro.ssa.dominators import dominator_tree
+
+    creator = program.functions.get(creator_name)
+    if creator is None:
+        return None
+    defining = None
+    for block in creator.reachable_blocks():
+        for instr in block.all_instrs():
+            for var in instr.defs():
+                if var.name.split("$")[0] == var_source_name:
+                    if defining is not None:
+                        return None  # multiple definitions: unsafe to move
+                    defining = (block, instr)
+    if defining is None:
+        return None
+    block, instr = defining
+    tree = dominator_tree(creator)
+    for exit_block in cfg.exit_blocks(creator):
+        if not tree.dominates(block, exit_block):
+            return None
+    return instr.line
+
+
+def _channel_source_name(source: str, shape: BugShape) -> Optional[str]:
+    text = line_text(source, shape.creation_line).strip()
+    if ":=" in text:
+        return text.split(":=")[0].strip()
+    if text.startswith("var "):
+        return text.split()[1]
+    return shape.channel.site.label.split("$")[0] or None
+
+
+def _send_payload(source: str, line: int, chan_name: str) -> Optional[str]:
+    text = line_text(source, line).strip()
+    marker = f"{chan_name} <-"
+    if text.startswith(marker):
+        return text[len(marker) :].strip()
+    if "<-" in text:
+        return text.split("<-", 1)[1].strip()
+    return None

@@ -1,0 +1,105 @@
+"""Strategy III — adding a stop channel (paper §4.4).
+
+Fixes *multiple-operations* bugs: Go-B operates on ``c`` repeatedly (often
+in a loop), so no buffer bump or defer can help. The patch declares a
+``stop`` channel next to ``c``, defers closing it in the function that
+declares ``c``, and rewrites the blocking ``o2`` into a two-case ``select``
+whose second case receives from ``stop`` and returns — once Go-A leaves the
+function, the deferred close unblocks Go-B and stops it (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fixer.patch import LineEdit, Patch, indent_of, line_text
+from repro.fixer.safety import REASON_SIDE_EFFECTS, BugShape, side_effects_after
+from repro.ssa import ir
+
+
+def try_strategy_stop(
+    program: ir.Program, source: str, shape: BugShape, alias=None
+) -> Optional[Patch]:
+    """Attempt Strategy III; returns a Patch or None when the bug doesn't fit."""
+    if shape.child_func is None or shape.blocked_event is None:
+        return None
+    if not shape.blocked_in_child:
+        return None
+    # Go-B must conduct o2 in the function it was created to run (the patch
+    # uses `return` to stop Go-B), i.e. o2's function is the spawn target
+    if shape.blocked_event.kind not in ("send", "recv"):
+        return None
+    # this strategy targets the *multiple-operations* class: Go-B operates
+    # on c repeatedly, or is spawned in a loop (single-op, single-spawn bugs
+    # belong to Strategies I/II and their safety checks)
+    if len(shape.child_ops) <= 1 and not shape.spawn_in_loop:
+        return None
+    blocked_line = shape.blocked_event.line
+    if not any(op.line == blocked_line for op in shape.child_ops):
+        return None
+    # side effects after o2 — except further operations on c itself
+    effects = side_effects_after(
+        program,
+        shape.child_func,
+        shape.blocked_event.instr,
+        allow_ops_on=shape.channel,
+        alias=alias,
+        exclude_reachable_before=True,
+    )
+    if effects:
+        shape.reject_reason = REASON_SIDE_EFFECTS
+        return None
+    stop_name = _fresh_stop_name(source)
+    decl_indent = indent_of(source, shape.creation_line)
+    o2_text = line_text(source, blocked_line)
+    o2_stmt = o2_text.strip()
+    if not _wrappable(o2_stmt):
+        return None
+    o2_indent = indent_of(source, blocked_line)
+    select_lines = [
+        f"{o2_indent}select {{",
+        f"{o2_indent}case {o2_stmt}:",
+        f"{o2_indent}case <-{stop_name}:",
+        f"{o2_indent}\treturn",
+        f"{o2_indent}}}",
+    ]
+    edits: List[LineEdit] = [
+        LineEdit(
+            after=shape.creation_line,
+            new_lines=[
+                f"{decl_indent}{stop_name} := make(chan struct{{}})",
+                f"{decl_indent}defer close({stop_name})",
+            ],
+        ),
+        LineEdit(line=blocked_line, new_lines=select_lines),
+    ]
+    return Patch(
+        strategy="stop",
+        description=(
+            f"add a {stop_name!r} channel closed via defer in {shape.creator_func}; "
+            f"rewrite the blocking operation at line {blocked_line} into a select"
+        ),
+        original=source,
+        edits=edits,
+    )
+
+
+def _wrappable(stmt: str) -> bool:
+    """Only plain sends and bare receives can become select cases here."""
+    if "<-" not in stmt:
+        return False
+    if stmt.startswith("<-"):
+        return True  # bare receive
+    if ":=" in stmt or "=" in stmt.split("<-")[0]:
+        return False  # receive with a binding: the case body would need it
+    return True  # `c <- v` send
+
+
+def _fresh_stop_name(source: str) -> str:
+    for candidate in ("stop", "stopCh", "stopGfix"):
+        if candidate not in source:
+            return candidate
+    index = 2
+    while f"stop{index}" in source:
+        index += 1
+    return f"stop{index}"

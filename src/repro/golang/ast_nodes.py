@@ -1,0 +1,342 @@
+"""AST node definitions for MiniGo.
+
+Every node records its source ``line`` (and ``col`` where useful) so the
+detector can report buggy lines and GFix can splice patches back into
+source, mirroring the role of ``go/ast`` in the paper's implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = 0
+    col: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Types
+
+
+@dataclass
+class Type(Node):
+    pass
+
+
+@dataclass
+class NamedType(Type):
+    """A primitive or user-declared type referenced by name.
+
+    Qualified Go standard-library types are normalized by the parser:
+    ``sync.Mutex`` -> ``mutex``, ``sync.RWMutex`` -> ``rwmutex``,
+    ``sync.WaitGroup`` -> ``waitgroup``, ``context.Context`` -> ``context``,
+    ``testing.T`` -> ``testing``, ``struct{}`` -> ``unit``.
+    """
+
+    name: str = ""
+
+
+@dataclass
+class ChanType(Type):
+    elem: Type = None  # type: ignore[assignment]
+
+
+@dataclass
+class SliceType(Type):
+    elem: Type = None  # type: ignore[assignment]
+
+
+@dataclass
+class PointerType(Type):
+    elem: Type = None  # type: ignore[assignment]
+
+
+@dataclass
+class FuncType(Type):
+    params: List["Param"] = field(default_factory=list)
+    results: List[Type] = field(default_factory=list)
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: Type = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NilLit(Expr):
+    pass
+
+
+@dataclass
+class UnitLit(Expr):
+    """The ``struct{}{}`` value commonly sent on signalling channels."""
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""  # '!', '-', '&', '*'
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class RecvExpr(Expr):
+    """``<-ch``; when used in a two-value context yields (value, ok)."""
+
+    chan: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class CallExpr(Expr):
+    func: Expr = None  # type: ignore[assignment]
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class SelectorExpr(Expr):
+    """``x.f`` — a field access or a method reference."""
+
+    recv: Expr = None  # type: ignore[assignment]
+    name: str = ""
+
+
+@dataclass
+class IndexExpr(Expr):
+    seq: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class MakeExpr(Expr):
+    """``make(chan T)``, ``make(chan T, n)`` or ``make([]T, n)``."""
+
+    type: Type = None  # type: ignore[assignment]
+    size: Optional[Expr] = None
+
+
+@dataclass
+class FuncLit(Expr):
+    params: List[Param] = field(default_factory=list)
+    results: List[Type] = field(default_factory=list)
+    body: "Block" = None  # type: ignore[assignment]
+
+
+@dataclass
+class CompositeLit(Expr):
+    """``T{}`` / ``T{f: v, ...}`` struct literals."""
+
+    type_name: str = ""
+    fields: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+    end_line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class SendStmt(Stmt):
+    chan: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """Covers both ``:=`` (is_decl) and ``=``.
+
+    ``lhs`` may contain one or two targets (two for ``v, ok := <-ch`` and
+    multi-return calls). ``rhs`` holds a single expression in those forms,
+    or parallel expressions for plain tuple assignment.
+    """
+
+    lhs: List[Expr] = field(default_factory=list)
+    rhs: List[Expr] = field(default_factory=list)
+    is_decl: bool = False
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type: Optional[Type] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IncDecStmt(Stmt):
+    target: Expr = None  # type: ignore[assignment]
+    op: str = "++"
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Block = None  # type: ignore[assignment]
+    orelse: Optional[Stmt] = None  # Block or IfStmt
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for {}``, ``for cond {}`` or ``for init; cond; post {}``."""
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    post: Optional[Stmt] = None
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class RangeStmt(Stmt):
+    """``for v := range ch {}`` / ``for i := range n {}`` (integer range)."""
+
+    var: str = ""
+    source: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class GoStmt(Stmt):
+    call: CallExpr = None  # type: ignore[assignment]
+
+
+@dataclass
+class DeferStmt(Stmt):
+    call: CallExpr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    values: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class SelectStmt(Stmt):
+    cases: List["CommClause"] = field(default_factory=list)
+    end_line: int = 0
+
+
+@dataclass
+class CommClause(Node):
+    """One ``case`` of a ``select``; ``comm`` is None for ``default``."""
+
+    comm: Optional[Stmt] = None  # SendStmt | AssignStmt | ExprStmt(RecvExpr)
+    body: List[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+
+
+@dataclass
+class StructDecl(Node):
+    name: str = ""
+    fields: List[Param] = field(default_factory=list)
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    receiver: Optional[Param] = None
+    params: List[Param] = field(default_factory=list)
+    results: List[Type] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+    @property
+    def full_name(self) -> str:
+        if self.receiver is not None:
+            return f"{_receiver_type_name(self.receiver.type)}.{self.name}"
+        return self.name
+
+
+def _receiver_type_name(typ: Type) -> str:
+    if isinstance(typ, PointerType):
+        typ = typ.elem
+    if isinstance(typ, NamedType):
+        return typ.name
+    return "?"
+
+
+@dataclass
+class File(Node):
+    """A parsed MiniGo source file (one ``package`` clause plus decls)."""
+
+    package: str = "main"
+    filename: str = "<minigo>"
+    source: str = ""
+    structs: List[StructDecl] = field(default_factory=list)
+    funcs: List[FuncDecl] = field(default_factory=list)
+
+    def func(self, name: str) -> FuncDecl:
+        for decl in self.funcs:
+            if decl.full_name == name or decl.name == name:
+                return decl
+        raise KeyError(name)
+
+    def struct(self, name: str) -> StructDecl:
+        for decl in self.structs:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)

@@ -1,0 +1,580 @@
+"""Recursive-descent parser for MiniGo.
+
+The grammar is a faithful subset of Go's: enough to express every program
+shape that GCatch and GFix reason about (Figures 1, 3 and 4 of the paper
+parse verbatim modulo elided library calls). Qualified standard-library
+types (``sync.Mutex``, ``testing.T``, ...) are normalized to MiniGo builtin
+type names so later passes can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.golang import ast_nodes as ast
+from repro.golang.lexer import Token, tokenize
+
+_QUALIFIED_TYPES = {
+    ("sync", "Mutex"): "mutex",
+    ("sync", "RWMutex"): "rwmutex",
+    ("sync", "WaitGroup"): "waitgroup",
+    ("sync", "Cond"): "cond",
+    ("context", "Context"): "context",
+    ("testing", "T"): "testing",
+    ("bytes", "Buffer"): "buffer",
+}
+
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{token.line}:{token.col}: {message} (got {token.kind} {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<minigo>"):
+        self.tokens = tokenize(source, filename)
+        self.source = source
+        self.filename = filename
+        self._idx = 0
+        # Go's parser disables composite literals at the top level of
+        # if/for conditions to resolve the `if x == T{}` ambiguity; we do
+        # the same with this depth flag.
+        self._no_composite = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+
+    @property
+    def _cur(self) -> Token:
+        return self.tokens[self._idx]
+
+    def _peek(self, offset: int = 1) -> Token:
+        idx = min(self._idx + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != "eof":
+            self._idx += 1
+        return token
+
+    def _expect_op(self, op: str) -> Token:
+        if not self._cur.is_op(op):
+            raise ParseError(f"expected {op!r}", self._cur)
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._cur.is_keyword(word):
+            raise ParseError(f"expected keyword {word!r}", self._cur)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._cur.kind != "ident":
+            raise ParseError("expected identifier", self._cur)
+        return self._advance()
+
+    def _skip_semis(self) -> None:
+        while self._cur.is_op(";"):
+            self._advance()
+
+    # ------------------------------------------------------------------
+    # file-level parsing
+
+    def parse_file(self) -> ast.File:
+        file = ast.File(filename=self.filename, source=self.source)
+        self._skip_semis()
+        if self._cur.is_keyword("package"):
+            self._advance()
+            file.package = self._expect_ident().text
+        self._skip_semis()
+        while self._cur.is_keyword("import"):
+            self._skip_import()
+            self._skip_semis()
+        while self._cur.kind != "eof":
+            if self._cur.is_keyword("func"):
+                file.funcs.append(self._parse_func_decl())
+            elif self._cur.is_keyword("type"):
+                file.structs.append(self._parse_struct_decl())
+            else:
+                raise ParseError("expected top-level declaration", self._cur)
+            self._skip_semis()
+        return file
+
+    def _skip_import(self) -> None:
+        self._advance()
+        if self._cur.is_op("("):
+            self._advance()
+            while not self._cur.is_op(")"):
+                if self._cur.kind == "eof":
+                    raise ParseError("unterminated import block", self._cur)
+                self._advance()
+            self._advance()
+        else:
+            self._advance()  # the import path string
+
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        start = self._expect_keyword("type")
+        name = self._expect_ident().text
+        self._expect_keyword("struct")
+        self._expect_op("{")
+        fields: List[ast.Param] = []
+        self._skip_semis()
+        while not self._cur.is_op("}"):
+            field_name = self._expect_ident()
+            field_type = self._parse_type()
+            fields.append(
+                ast.Param(line=field_name.line, col=field_name.col, name=field_name.text, type=field_type)
+            )
+            self._skip_semis()
+        self._expect_op("}")
+        return ast.StructDecl(line=start.line, col=start.col, name=name, fields=fields)
+
+    def _parse_func_decl(self) -> ast.FuncDecl:
+        start = self._expect_keyword("func")
+        receiver: Optional[ast.Param] = None
+        if self._cur.is_op("("):
+            receiver = self._parse_receiver()
+        name = self._expect_ident().text
+        params, results = self._parse_signature()
+        body = self._parse_block()
+        return ast.FuncDecl(
+            line=start.line,
+            col=start.col,
+            name=name,
+            receiver=receiver,
+            params=params,
+            results=results,
+            body=body,
+        )
+
+    def _parse_receiver(self) -> ast.Param:
+        self._expect_op("(")
+        name = self._expect_ident()
+        typ = self._parse_type()
+        self._expect_op(")")
+        return ast.Param(line=name.line, col=name.col, name=name.text, type=typ)
+
+    def _parse_signature(self) -> Tuple[List[ast.Param], List[ast.Type]]:
+        self._expect_op("(")
+        params: List[ast.Param] = []
+        while not self._cur.is_op(")"):
+            group_start = len(params)
+            name = self._expect_ident()
+            params.append(ast.Param(line=name.line, col=name.col, name=name.text, type=None))
+            while self._cur.is_op(","):
+                self._advance()
+                name = self._expect_ident()
+                params.append(ast.Param(line=name.line, col=name.col, name=name.text, type=None))
+            typ = self._parse_type()
+            for param in params[group_start:]:
+                if param.type is None:
+                    param.type = typ
+            if self._cur.is_op(","):
+                self._advance()
+        self._expect_op(")")
+        results = self._parse_results()
+        return params, results
+
+    def _parse_results(self) -> List[ast.Type]:
+        if self._cur.is_op("("):
+            self._advance()
+            results = [self._parse_type()]
+            while self._cur.is_op(","):
+                self._advance()
+                results.append(self._parse_type())
+            self._expect_op(")")
+            return results
+        if self._starts_type():
+            return [self._parse_type()]
+        return []
+
+    def _starts_type(self) -> bool:
+        token = self._cur
+        if token.kind == "ident":
+            return True
+        if token.kind == "keyword":
+            return token.text in ("chan", "struct", "func", "map", "interface")
+        if token.kind == "op":
+            return token.text in ("*", "[")
+        return False
+
+    # ------------------------------------------------------------------
+    # types
+
+    def _parse_type(self) -> ast.Type:
+        token = self._cur
+        if token.is_keyword("chan"):
+            self._advance()
+            return ast.ChanType(line=token.line, col=token.col, elem=self._parse_type())
+        if token.is_op("["):
+            self._advance()
+            self._expect_op("]")
+            return ast.SliceType(line=token.line, col=token.col, elem=self._parse_type())
+        if token.is_op("*"):
+            self._advance()
+            return ast.PointerType(line=token.line, col=token.col, elem=self._parse_type())
+        if token.is_keyword("struct"):
+            self._advance()
+            self._expect_op("{")
+            self._expect_op("}")
+            return ast.NamedType(line=token.line, col=token.col, name="unit")
+        if token.is_keyword("func"):
+            self._advance()
+            params, results = self._parse_signature()
+            return ast.FuncType(line=token.line, col=token.col, params=params, results=results)
+        if token.is_keyword("interface"):
+            self._advance()
+            self._expect_op("{")
+            self._expect_op("}")
+            return ast.NamedType(line=token.line, col=token.col, name="any")
+        if token.kind == "ident":
+            self._advance()
+            if self._cur.is_op(".") and self._peek().kind == "ident":
+                qualified = _QUALIFIED_TYPES.get((token.text, self._peek().text))
+                if qualified is not None:
+                    self._advance()
+                    self._advance()
+                    return ast.NamedType(line=token.line, col=token.col, name=qualified)
+            return ast.NamedType(line=token.line, col=token.col, name=token.text)
+        raise ParseError("expected type", token)
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _parse_block(self) -> ast.Block:
+        open_tok = self._expect_op("{")
+        stmts: List[ast.Stmt] = []
+        self._skip_semis()
+        while not self._cur.is_op("}"):
+            if self._cur.kind == "eof":
+                raise ParseError("unterminated block", self._cur)
+            stmts.append(self._parse_stmt())
+            self._skip_semis()
+        close_tok = self._expect_op("}")
+        return ast.Block(line=open_tok.line, col=open_tok.col, stmts=stmts, end_line=close_tok.line)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._cur
+        if token.is_keyword("var"):
+            return self._parse_var_decl()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("select"):
+            return self._parse_select()
+        if token.is_keyword("go"):
+            self._advance()
+            call = self._parse_expr()
+            if not isinstance(call, ast.CallExpr):
+                raise ParseError("go statement requires a call", token)
+            return ast.GoStmt(line=token.line, col=token.col, call=call)
+        if token.is_keyword("defer"):
+            self._advance()
+            call = self._parse_expr()
+            if not isinstance(call, ast.CallExpr):
+                raise ParseError("defer statement requires a call", token)
+            return ast.DeferStmt(line=token.line, col=token.col, call=call)
+        if token.is_keyword("return"):
+            self._advance()
+            values: List[ast.Expr] = []
+            if not self._cur.is_op(";") and not self._cur.is_op("}"):
+                values.append(self._parse_expr())
+                while self._cur.is_op(","):
+                    self._advance()
+                    values.append(self._parse_expr())
+            return ast.ReturnStmt(line=token.line, col=token.col, values=values)
+        if token.is_keyword("break"):
+            self._advance()
+            return ast.BreakStmt(line=token.line, col=token.col)
+        if token.is_keyword("continue"):
+            self._advance()
+            return ast.ContinueStmt(line=token.line, col=token.col)
+        if token.is_op("{"):
+            return self._parse_block()
+        return self._parse_simple_stmt()
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        start = self._expect_keyword("var")
+        name = self._expect_ident().text
+        typ: Optional[ast.Type] = None
+        value: Optional[ast.Expr] = None
+        if self._cur.is_op("="):
+            self._advance()
+            value = self._parse_expr()
+        else:
+            typ = self._parse_type()
+            if self._cur.is_op("="):
+                self._advance()
+                value = self._parse_expr()
+        return ast.VarDecl(line=start.line, col=start.col, name=name, type=typ, value=value)
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        start = self._cur
+        first = self._parse_expr()
+        if self._cur.is_op("<-"):
+            self._advance()
+            value = self._parse_expr()
+            return ast.SendStmt(line=start.line, col=start.col, chan=first, value=value)
+        if self._cur.is_op("++") or self._cur.is_op("--"):
+            op = self._advance().text
+            return ast.IncDecStmt(line=start.line, col=start.col, target=first, op=op)
+        lhs = [first]
+        while self._cur.is_op(","):
+            self._advance()
+            lhs.append(self._parse_expr())
+        if self._cur.is_op(":=") or self._cur.is_op("="):
+            is_decl = self._advance().text == ":="
+            rhs = [self._parse_expr()]
+            while self._cur.is_op(","):
+                self._advance()
+                rhs.append(self._parse_expr())
+            return ast.AssignStmt(line=start.line, col=start.col, lhs=lhs, rhs=rhs, is_decl=is_decl)
+        if len(lhs) != 1:
+            raise ParseError("expected := or = after expression list", self._cur)
+        return ast.ExprStmt(line=start.line, col=start.col, expr=first)
+
+    def _parse_if(self) -> ast.IfStmt:
+        start = self._expect_keyword("if")
+        self._no_composite += 1
+        cond = self._parse_expr()
+        self._no_composite -= 1
+        then = self._parse_block()
+        orelse: Optional[ast.Stmt] = None
+        if self._cur.is_keyword("else"):
+            self._advance()
+            if self._cur.is_keyword("if"):
+                orelse = self._parse_if()
+            else:
+                orelse = self._parse_block()
+        return ast.IfStmt(line=start.line, col=start.col, cond=cond, then=then, orelse=orelse)
+
+    def _parse_for(self) -> ast.Stmt:
+        start = self._expect_keyword("for")
+        if self._cur.is_op("{"):
+            return ast.ForStmt(line=start.line, col=start.col, body=self._parse_block())
+        if self._cur.is_keyword("range"):
+            self._advance()
+            self._no_composite += 1
+            source = self._parse_expr()
+            self._no_composite -= 1
+            body = self._parse_block()
+            return ast.RangeStmt(line=start.line, col=start.col, var="_", source=source, body=body)
+        # `for v := range src {`
+        if (
+            self._cur.kind == "ident"
+            and self._peek().is_op(":=")
+            and self._peek(2).is_keyword("range")
+        ):
+            var = self._advance().text
+            self._advance()  # :=
+            self._advance()  # range
+            self._no_composite += 1
+            source = self._parse_expr()
+            self._no_composite -= 1
+            body = self._parse_block()
+            return ast.RangeStmt(line=start.line, col=start.col, var=var, source=source, body=body)
+        self._no_composite += 1
+        first = self._parse_simple_stmt()
+        self._no_composite -= 1
+        if self._cur.is_op(";"):
+            self._advance()
+            self._no_composite += 1
+            cond = None if self._cur.is_op(";") else self._parse_expr()
+            self._expect_op(";")
+            post = None if self._cur.is_op("{") else self._parse_simple_stmt()
+            self._no_composite -= 1
+            body = self._parse_block()
+            return ast.ForStmt(
+                line=start.line, col=start.col, init=first, cond=cond, post=post, body=body
+            )
+        if not isinstance(first, ast.ExprStmt):
+            raise ParseError("for condition must be an expression", self._cur)
+        body = self._parse_block()
+        return ast.ForStmt(line=start.line, col=start.col, cond=first.expr, body=body)
+
+    def _parse_select(self) -> ast.SelectStmt:
+        start = self._expect_keyword("select")
+        self._expect_op("{")
+        cases: List[ast.CommClause] = []
+        self._skip_semis()
+        while not self._cur.is_op("}"):
+            cases.append(self._parse_comm_clause())
+            self._skip_semis()
+        close_tok = self._expect_op("}")
+        return ast.SelectStmt(line=start.line, col=start.col, cases=cases, end_line=close_tok.line)
+
+    def _parse_comm_clause(self) -> ast.CommClause:
+        token = self._cur
+        comm: Optional[ast.Stmt] = None
+        if token.is_keyword("default"):
+            self._advance()
+        else:
+            self._expect_keyword("case")
+            comm = self._parse_simple_stmt()
+        self._expect_op(":")
+        body: List[ast.Stmt] = []
+        self._skip_semis()
+        while not (
+            self._cur.is_keyword("case") or self._cur.is_keyword("default") or self._cur.is_op("}")
+        ):
+            body.append(self._parse_stmt())
+            self._skip_semis()
+        return ast.CommClause(line=token.line, col=token.col, comm=comm, body=body)
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _parse_expr(self, min_prec: int = 1) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._cur
+            prec = _BINARY_PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self._advance()
+            right = self._parse_expr(prec + 1)
+            left = ast.BinaryExpr(line=token.line, col=token.col, op=token.text, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._cur
+        if token.is_op("<-"):
+            self._advance()
+            return ast.RecvExpr(line=token.line, col=token.col, chan=self._parse_unary())
+        if token.is_op("!") or token.is_op("-") or token.is_op("&") or token.is_op("*"):
+            self._advance()
+            return ast.UnaryExpr(line=token.line, col=token.col, op=token.text, operand=self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._cur
+            if token.is_op("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                while not self._cur.is_op(")"):
+                    args.append(self._parse_expr())
+                    if self._cur.is_op(","):
+                        self._advance()
+                self._expect_op(")")
+                expr = ast.CallExpr(line=token.line, col=token.col, func=expr, args=args)
+            elif token.is_op(".") and self._peek().kind == "ident":
+                self._advance()
+                name = self._advance()
+                expr = ast.SelectorExpr(line=name.line, col=name.col, recv=expr, name=name.text)
+            elif token.is_op("["):
+                self._advance()
+                index = self._parse_expr()
+                self._expect_op("]")
+                expr = ast.IndexExpr(line=token.line, col=token.col, seq=expr, index=index)
+            elif (
+                token.is_op("{")
+                and isinstance(expr, ast.Ident)
+                and self._no_composite == 0
+                and self._looks_like_composite()
+            ):
+                expr = self._parse_composite(expr)
+            else:
+                return expr
+
+    def _looks_like_composite(self) -> bool:
+        """Heuristic: ``Ident{`` starts a composite literal when the brace is
+        immediately followed by ``}`` or by ``ident :``."""
+        if self._peek().is_op("}"):
+            return True
+        return self._peek().kind == "ident" and self._peek(2).is_op(":")
+
+    def _parse_composite(self, name: ast.Ident) -> ast.CompositeLit:
+        self._expect_op("{")
+        fields: List[Tuple[str, ast.Expr]] = []
+        self._skip_semis()
+        while not self._cur.is_op("}"):
+            field_name = self._expect_ident().text
+            self._expect_op(":")
+            fields.append((field_name, self._parse_expr()))
+            if self._cur.is_op(","):
+                self._advance()
+            self._skip_semis()
+        self._expect_op("}")
+        return ast.CompositeLit(line=name.line, col=name.col, type_name=name.name, fields=fields)
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._cur
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLit(line=token.line, col=token.col, value=int(token.text))
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLit(line=token.line, col=token.col, value=token.text)
+        if token.is_keyword("true") or token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLit(line=token.line, col=token.col, value=token.text == "true")
+        if token.is_keyword("nil"):
+            self._advance()
+            return ast.NilLit(line=token.line, col=token.col)
+        if token.is_keyword("struct"):
+            # struct{}{} -- the unit value
+            self._advance()
+            self._expect_op("{")
+            self._expect_op("}")
+            self._expect_op("{")
+            self._expect_op("}")
+            return ast.UnitLit(line=token.line, col=token.col)
+        if token.is_keyword("func"):
+            return self._parse_func_lit()
+        if token.is_keyword("chan"):
+            raise ParseError("chan type only valid inside make()", token)
+        if token.kind == "ident":
+            if token.text == "make" and self._peek().is_op("("):
+                return self._parse_make()
+            self._advance()
+            return ast.Ident(line=token.line, col=token.col, name=token.text)
+        if token.is_op("("):
+            self._advance()
+            saved = self._no_composite
+            self._no_composite = 0
+            expr = self._parse_expr()
+            self._no_composite = saved
+            self._expect_op(")")
+            return expr
+        raise ParseError("expected expression", token)
+
+    def _parse_make(self) -> ast.MakeExpr:
+        token = self._advance()  # 'make'
+        self._expect_op("(")
+        typ = self._parse_type()
+        size: Optional[ast.Expr] = None
+        if self._cur.is_op(","):
+            self._advance()
+            size = self._parse_expr()
+        self._expect_op(")")
+        return ast.MakeExpr(line=token.line, col=token.col, type=typ, size=size)
+
+    def _parse_func_lit(self) -> ast.FuncLit:
+        token = self._expect_keyword("func")
+        params, results = self._parse_signature()
+        body = self._parse_block()
+        return ast.FuncLit(line=token.line, col=token.col, params=params, results=results, body=body)
+
+
+def parse_file(source: str, filename: str = "<minigo>") -> ast.File:
+    """Parse MiniGo ``source`` into a :class:`repro.golang.ast_nodes.File`."""
+    return Parser(source, filename).parse_file()

@@ -1,0 +1,223 @@
+"""Experiment runners shared by the benchmark harness and EXPERIMENTS.md.
+
+``evaluate_app`` runs GCatch + GFix over one corpus application and
+classifies every report against the seeded ground truth; ``evaluate_corpus``
+aggregates that into the Table 1 reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus.apps import CorpusApp, build_corpus
+from repro.corpus.templates import TemplateInstance
+from repro.detector.gcatch import GCatchResult, run_gcatch
+from repro.detector.reporting import BugReport
+from repro.fixer.dispatcher import FixResult, GFix
+from repro.report.table import cell, plain, render_table
+
+
+@dataclass
+class ChannelVerdict:
+    """One channel the BMOC detector reported on, matched to its seed."""
+
+    instance: Optional[TemplateInstance]
+    category: str  # 'bmoc-chan' | 'bmoc-mutex'
+    reports: List[BugReport] = field(default_factory=list)
+
+    @property
+    def is_real(self) -> bool:
+        return self.instance is not None and self.instance.real
+
+    @property
+    def fp_cause(self) -> Optional[str]:
+        return self.instance.fp_cause if self.instance else None
+
+
+@dataclass
+class AppEvaluation:
+    app: CorpusApp
+    gcatch: GCatchResult
+    bmoc_verdicts: List[ChannelVerdict] = field(default_factory=list)
+    traditional_verdicts: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    fixes: List[FixResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def bmoc_counts(self, category: str) -> Tuple[int, int]:
+        real = sum(1 for v in self.bmoc_verdicts if v.category == category and v.is_real)
+        fp = sum(1 for v in self.bmoc_verdicts if v.category == category and not v.is_real)
+        return real, fp
+
+    def fix_counts(self) -> Dict[str, int]:
+        out = {"buffer": 0, "defer": 0, "stop": 0}
+        for fix in self.fixes:
+            if fix.strategy in out:
+                out[fix.strategy] += 1
+        return out
+
+    def unfixed(self) -> List[FixResult]:
+        return [f for f in self.fixes if not f.fixed]
+
+
+def evaluate_app(app: CorpusApp) -> AppEvaluation:
+    """Run the full GCatch + GFix pipeline on one corpus application."""
+    program = app.program()
+    gcatch = run_gcatch(program)
+    evaluation = AppEvaluation(app=app, gcatch=gcatch, elapsed_seconds=gcatch.elapsed_seconds)
+
+    # group BMOC reports per channel primitive, then match seeds
+    by_channel: Dict[int, List[BugReport]] = {}
+    prim_of: Dict[int, object] = {}
+    for report in gcatch.bmoc.reports:
+        by_channel.setdefault(id(report.primitive), []).append(report)
+        prim_of[id(report.primitive)] = report.primitive
+    for key, reports in by_channel.items():
+        prim = prim_of[key]
+        category = (
+            "bmoc-mutex" if any(r.category == "bmoc-mutex" for r in reports) else "bmoc-chan"
+        )
+        instance = app.instance_for_function(prim.site.function)
+        evaluation.bmoc_verdicts.append(
+            ChannelVerdict(instance=instance, category=category, reports=reports)
+        )
+
+    # traditional categories: match each report to a seeded instance
+    for category in ("forget-unlock", "double-lock", "conflict-lock", "struct-race", "fatal-goroutine"):
+        real = fp = 0
+        for report in gcatch.traditional:
+            if report.category != category:
+                continue
+            function = report.blocked_ops[0].function if report.blocked_ops else ""
+            instance = app.instance_for_function(function)
+            if instance is not None and instance.real and instance.category == category:
+                real += 1
+            else:
+                fp += 1
+        evaluation.traditional_verdicts[category] = (real, fp)
+
+    # GFix runs on the real channel-only BMOC bugs (the paper feeds GFix the
+    # 147 BMOC_C bugs; false positives were weeded out by inspection)
+    gfix = GFix(program, app.source)
+    for verdict in evaluation.bmoc_verdicts:
+        if verdict.category != "bmoc-chan" or not verdict.is_real:
+            continue
+        fixed: Optional[FixResult] = None
+        for report in verdict.reports:
+            result = gfix.fix(report)
+            if result.fixed:
+                fixed = result
+                break
+            fixed = result
+        if fixed is not None:
+            evaluation.fixes.append(fixed)
+    return evaluation
+
+
+@dataclass
+class CorpusEvaluation:
+    evaluations: List[AppEvaluation] = field(default_factory=list)
+
+    def table1_rows(self) -> List[Dict[str, str]]:
+        rows: List[Dict[str, str]] = []
+        totals: Dict[str, List[int]] = {}
+
+        def accumulate(key: str, real: int, fp: int) -> None:
+            bucket = totals.setdefault(key, [0, 0])
+            bucket[0] += real
+            bucket[1] += fp
+
+        for evaluation in self.evaluations:
+            row: Dict[str, str] = {"app": evaluation.app.name}
+            total_real = total_fp = 0
+            for key, category in (
+                ("bmoc_c", "bmoc-chan"),
+                ("bmoc_m", "bmoc-mutex"),
+            ):
+                real, fp = evaluation.bmoc_counts(category)
+                row[key] = cell(real, fp)
+                accumulate(key, real, fp)
+                total_real += real
+                total_fp += fp
+            for key, category in (
+                ("forget_unlock", "forget-unlock"),
+                ("double_lock", "double-lock"),
+                ("conflict_lock", "conflict-lock"),
+                ("struct_field", "struct-race"),
+                ("fatal", "fatal-goroutine"),
+            ):
+                real, fp = evaluation.traditional_verdicts.get(category, (0, 0))
+                row[key] = cell(real, fp)
+                accumulate(key, real, fp)
+                total_real += real
+                total_fp += fp
+            row["total"] = cell(total_real, total_fp)
+            accumulate("total", total_real, total_fp)
+            fix_counts = evaluation.fix_counts()
+            row["s1"] = plain(fix_counts["buffer"])
+            row["s2"] = plain(fix_counts["defer"])
+            row["s3"] = plain(fix_counts["stop"])
+            row["fix_total"] = plain(sum(fix_counts.values()))
+            accumulate("s1", fix_counts["buffer"], 0)
+            accumulate("s2", fix_counts["defer"], 0)
+            accumulate("s3", fix_counts["stop"], 0)
+            accumulate("fix_total", sum(fix_counts.values()), 0)
+            rows.append(row)
+        total_row: Dict[str, str] = {"app": "Total"}
+        for key, (real, fp) in totals.items():
+            if key in ("s1", "s2", "s3", "fix_total"):
+                total_row[key] = plain(real)
+            else:
+                total_row[key] = cell(real, fp)
+        rows.append(total_row)
+        return rows
+
+    def render(self) -> str:
+        return render_table(
+            self.table1_rows(),
+            title="Table 1 (reproduced): GCatch bugs x(FP) per category and GFix fixes per strategy",
+        )
+
+    def totals(self) -> Dict[str, Tuple[int, int]]:
+        out: Dict[str, Tuple[int, int]] = {}
+        for key, category in (("bmoc_c", "bmoc-chan"), ("bmoc_m", "bmoc-mutex")):
+            real = sum(e.bmoc_counts(category)[0] for e in self.evaluations)
+            fp = sum(e.bmoc_counts(category)[1] for e in self.evaluations)
+            out[key] = (real, fp)
+        for key, category in (
+            ("forget_unlock", "forget-unlock"),
+            ("double_lock", "double-lock"),
+            ("conflict_lock", "conflict-lock"),
+            ("struct_field", "struct-race"),
+            ("fatal", "fatal-goroutine"),
+        ):
+            real = sum(e.traditional_verdicts.get(category, (0, 0))[0] for e in self.evaluations)
+            fp = sum(e.traditional_verdicts.get(category, (0, 0))[1] for e in self.evaluations)
+            out[key] = (real, fp)
+        return out
+
+    def fix_totals(self) -> Dict[str, int]:
+        out = {"buffer": 0, "defer": 0, "stop": 0}
+        for evaluation in self.evaluations:
+            for strategy, count in evaluation.fix_counts().items():
+                out[strategy] += count
+        return out
+
+    def fp_causes(self) -> Dict[str, int]:
+        """False positives of the BMOC detector, by cause (§5.2)."""
+        out: Dict[str, int] = {}
+        for evaluation in self.evaluations:
+            for verdict in evaluation.bmoc_verdicts:
+                if verdict.is_real:
+                    continue
+                cause = verdict.fp_cause or "unknown"
+                out[cause] = out.get(cause, 0) + 1
+        return out
+
+
+def evaluate_corpus(names: Optional[List[str]] = None) -> CorpusEvaluation:
+    """Evaluate the whole corpus (or a named subset) with GCatch + GFix."""
+    apps = build_corpus()
+    if names is not None:
+        apps = tuple(app for app in apps if app.name in names)
+    return CorpusEvaluation(evaluations=[evaluate_app(app) for app in apps])

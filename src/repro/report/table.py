@@ -1,0 +1,66 @@
+"""ASCII rendering of evaluation tables in the paper's Table 1 layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+COLUMNS = [
+    ("app", "App Name"),
+    ("bmoc_c", "BMOC_C"),
+    ("bmoc_m", "BMOC_M"),
+    ("forget_unlock", "Forget Unlock"),
+    ("double_lock", "Double Lock"),
+    ("conflict_lock", "Conflict Lock"),
+    ("struct_field", "Struct Field"),
+    ("fatal", "Fatal"),
+    ("total", "Total"),
+    ("s1", "S.-I"),
+    ("s2", "S.-II"),
+    ("s3", "S.-III"),
+    ("fix_total", "Fix Total"),
+]
+
+
+def cell(real: int, fp: int) -> str:
+    """Format a Table 1 cell: the paper's x_y notation becomes x(y)."""
+    if real == 0 and fp == 0:
+        return "-"
+    return f"{real}({fp})"
+
+
+def plain(value: int) -> str:
+    return "-" if value == 0 else str(value)
+
+
+def render_table(rows: List[Dict[str, str]], title: str = "") -> str:
+    """Render rows (dicts keyed by COLUMNS ids) as an aligned ASCII table."""
+    headers = [header for _, header in COLUMNS]
+    keys = [key for key, _ in COLUMNS]
+    table_rows = [[row.get(key, "") for key in keys] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table_rows)) if table_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_simple(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    widths = [
+        max(len(headers[i]), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Scheduling loop and execution results for the MiniGo runtime.
+
+``run_program`` is the dynamic oracle used throughout the reproduction: it
+plays the role of the paper's unit-test-plus-random-sleep validation
+(§5.1's patch-correctness methodology). A seeded RNG picks which runnable
+goroutine steps next, so distinct seeds explore distinct interleavings and
+repeated seeds replay identical executions.
+
+Outcomes of interest:
+
+* ``leaked`` — goroutines still blocked when the program finishes: the
+  dynamic symptom of a BMOC bug (a child goroutine parked forever);
+* ``global_deadlock`` — every live goroutine blocked (Go's fatal
+  "all goroutines are asleep" error);
+* ``panicked`` / ``output`` / per-goroutine step counts for patch-overhead
+  measurement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.interp import BLOCKED, RUNNABLE, Goroutine, Interpreter
+from repro.runtime.values import Channel, ContextVal, Env, SliceVal, StructVal, TestingT
+from repro.ssa import ir
+
+
+@dataclass
+class LeakedGoroutine:
+    gid: int
+    function: str
+    blocked_line: int
+    blocked_kind: str
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one seeded execution."""
+
+    seed: int
+    steps: int = 0
+    output: List[str] = field(default_factory=list)
+    leaked: List[LeakedGoroutine] = field(default_factory=list)
+    global_deadlock: bool = False
+    deadlock_lines: List[int] = field(default_factory=list)
+    panicked: bool = False
+    panic_message: Optional[str] = None
+    test_failed: bool = False
+    hit_step_limit: bool = False
+    goroutine_steps: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def blocked_forever(self) -> bool:
+        """True when some goroutine ended up permanently stuck."""
+        return self.global_deadlock or bool(self.leaked)
+
+    def blocked_lines(self) -> List[int]:
+        lines = list(self.deadlock_lines)
+        lines.extend(leak.blocked_line for leak in self.leaked)
+        return sorted(set(lines))
+
+
+def _synthesize_arg(kind: str) -> Any:
+    """Default argument values when running an entry function directly."""
+    if kind == "testing":
+        return TestingT()
+    if kind == "context":
+        return ContextVal(Channel(0, "unit"))
+    if kind == "chan":
+        return Channel(0, "any")
+    if kind == "int":
+        return 0
+    if kind == "bool":
+        return False
+    if kind == "string":
+        return ""
+    if kind.startswith("slice"):
+        return SliceVal([])
+    if kind.startswith("struct:"):
+        return StructVal(kind.split(":", 1)[1])
+    return None
+
+
+def run_program(
+    program: ir.Program,
+    entry: str = "main",
+    seed: int = 0,
+    max_steps: int = 100_000,
+    arg_kinds: Optional[Dict[str, str]] = None,
+    args: Optional[List[Any]] = None,
+) -> ExecutionResult:
+    """Execute ``entry`` under a seeded nondeterministic schedule."""
+    rng = random.Random(seed)
+    interp = Interpreter(program, rng)
+    entry_func = program.functions.get(entry)
+    if entry_func is None:
+        raise KeyError(f"no entry function {entry!r}")
+    env = Env()
+    if args is not None:
+        for name, value in zip(entry_func.params, args):
+            env.vars[name] = value
+    else:
+        kinds = arg_kinds or {}
+        for name in entry_func.params:
+            env.vars[name] = _synthesize_arg(kinds.get(name, "any"))
+    main = interp.spawn(entry_func, env)
+    result = ExecutionResult(seed=seed)
+
+    steps = 0
+    while steps < max_steps:
+        if interp.panicked:
+            break
+        if main.done:
+            if not _drain(interp, main, result, max_steps - steps):
+                result.hit_step_limit = True
+            break
+        runnable = _runnable(interp)
+        if not runnable:
+            if _only_sleepers(interp):
+                interp.clock += 1  # let time pass
+                continue
+            result.global_deadlock = True
+            break
+        goroutine = rng.choice(runnable)
+        interp.step(goroutine)
+        steps += 1
+
+    if steps >= max_steps:
+        result.hit_step_limit = True
+
+    _collect(interp, main, result, steps)
+    return result
+
+
+def _runnable(interp: Interpreter) -> List[Goroutine]:
+    return [
+        g
+        for g in interp.goroutines.values()
+        if g.status == RUNNABLE and g.sleep_until <= interp.clock
+    ]
+
+
+def _only_sleepers(interp: Interpreter) -> bool:
+    has_sleeper = False
+    for goroutine in interp.goroutines.values():
+        if goroutine.status == RUNNABLE:
+            if goroutine.sleep_until > interp.clock:
+                has_sleeper = True
+            else:
+                return False
+    return has_sleeper
+
+
+def _drain(interp: Interpreter, main: Goroutine, result: ExecutionResult, budget: int) -> bool:
+    """After main exits, let remaining goroutines run until quiescent.
+
+    Whatever is still blocked afterwards is blocked *forever* — the leaked
+    goroutines a BMOC bug produces.
+    """
+    steps = 0
+    while steps < budget:
+        if interp.panicked:
+            return True
+        runnable = [g for g in _runnable(interp) if g is not main]
+        if not runnable:
+            if _only_sleepers(interp):
+                interp.clock += 1
+                continue
+            return True
+        interp.step(interp.rng.choice(runnable))
+        steps += 1
+    return False
+
+
+def _collect(interp: Interpreter, main: Goroutine, result: ExecutionResult, steps: int) -> None:
+    result.steps = steps
+    result.output = list(interp.output)
+    result.panicked = interp.panicked
+    result.panic_message = interp.panic_message
+    result.test_failed = interp.test_failed
+    result.goroutine_steps = {gid: g.steps for gid, g in interp.goroutines.items()}
+    for gid, goroutine in interp.goroutines.items():
+        if goroutine.status == BLOCKED:
+            func_name = goroutine.frames[-1].func.name if goroutine.frames else "?"
+            leak = LeakedGoroutine(
+                gid=gid,
+                function=func_name,
+                blocked_line=goroutine.blocked_line,
+                blocked_kind=goroutine.blocked_kind,
+            )
+            if result.global_deadlock:
+                result.deadlock_lines.append(goroutine.blocked_line)
+            if gid != main.gid or not result.global_deadlock:
+                result.leaked.append(leak)
+
+
+def explore_schedules(
+    program: ir.Program,
+    entry: str = "main",
+    seeds: int = 20,
+    max_steps: int = 100_000,
+    args: Optional[List[Any]] = None,
+) -> List[ExecutionResult]:
+    """Run many seeds, mimicking the paper's random-sleep stress validation."""
+    return [
+        run_program(program, entry=entry, seed=seed, max_steps=max_steps, args=args)
+        for seed in range(seeds)
+    ]
+
+
+def any_blocks(results: List[ExecutionResult]) -> bool:
+    return any(r.blocked_forever for r in results)

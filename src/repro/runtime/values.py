@@ -1,0 +1,252 @@
+"""Runtime value representations for the MiniGo interpreter.
+
+Channel, mutex and waitgroup values implement exactly the Go semantics the
+paper's constraint system models statically (§2.1/§3.4): buffered/unbuffered
+channels with FIFO buffers, close semantics with zero values, rendezvous
+between parked senders and receivers, and mutexes as ownership flags.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+
+class GoPanic(Exception):
+    """Raised inside the interpreter when a goroutine panics."""
+
+    def __init__(self, message: Any):
+        super().__init__(str(message))
+        self.message = message
+
+
+def zero_value(elem_type: str) -> Any:
+    if elem_type == "int":
+        return 0
+    if elem_type == "bool":
+        return False
+    if elem_type == "string":
+        return ""
+    if elem_type == "unit":
+        return ()
+    return None
+
+
+class Channel:
+    """A Go channel: bounded FIFO buffer plus parked sender/receiver queues."""
+
+    _counter = 0
+
+    def __init__(self, capacity: int, elem_type: str = "any", create_line: int = 0):
+        Channel._counter += 1
+        self.id = Channel._counter
+        self.capacity = capacity
+        self.elem_type = elem_type
+        self.create_line = create_line
+        self.buffer: Deque[Any] = deque()
+        self.closed = False
+        # parked goroutine ids with pending values: [(gid, value)]
+        self.send_waiters: List[Tuple[int, Any]] = []
+        self.recv_waiters: List[int] = []
+
+    # -- readiness probes (used by select and by blocked-op retries) -----
+
+    def can_send(self) -> bool:
+        if self.closed:
+            return True  # proceeds by panicking
+        return len(self.buffer) < self.capacity or bool(self.recv_waiters)
+
+    def can_recv(self) -> bool:
+        return bool(self.buffer) or self.closed or bool(self.send_waiters)
+
+    # -- operations -------------------------------------------------------
+
+    def try_send(self, value: Any) -> Tuple[bool, Optional[int]]:
+        """Attempt a send.
+
+        Returns ``(True, woken_gid)`` on success — ``woken_gid`` is a
+        receiver goroutine unparked by a rendezvous, or None. Returns
+        ``(False, None)`` when the send must block. Raises GoPanic when the
+        channel is closed (Go's send-on-closed semantics).
+        """
+        if self.closed:
+            raise GoPanic("send on closed channel")
+        if self.recv_waiters:
+            gid = self.recv_waiters.pop(0)
+            self.buffer.append(value)
+            return True, gid
+        if len(self.buffer) < self.capacity:
+            self.buffer.append(value)
+            return True, None
+        return False, None
+
+    def try_recv(self) -> Tuple[bool, Any, bool, Optional[int]]:
+        """Attempt a receive.
+
+        Returns ``(ok_to_proceed, value, received_ok_flag, woken_gid)``.
+        ``received_ok_flag`` is Go's second receive result: False only when
+        the channel is closed and drained.
+        """
+        if self.send_waiters:
+            gid, value = self.send_waiters.pop(0)
+            if self.buffer:
+                # buffered channel: parked sender refills the buffer slot
+                out = self.buffer.popleft()
+                self.buffer.append(value)
+                return True, out, True, gid
+            return True, value, True, gid
+        if self.buffer:
+            return True, self.buffer.popleft(), True, None
+        if self.closed:
+            return True, zero_value(self.elem_type), False, None
+        return False, None, False, None
+
+    def close(self) -> List[int]:
+        """Close the channel; returns goroutine ids to wake."""
+        if self.closed:
+            raise GoPanic("close of closed channel")
+        self.closed = True
+        woken = list(self.recv_waiters)
+        self.recv_waiters.clear()
+        # parked senders on a closed channel will panic when they resume
+        woken.extend(gid for gid, _ in self.send_waiters)
+        self.send_waiters.clear()
+        return woken
+
+    def forget_waiter(self, gid: int) -> None:
+        """Remove a goroutine from wait queues (used when a select commits)."""
+        self.recv_waiters = [g for g in self.recv_waiters if g != gid]
+        self.send_waiters = [(g, v) for g, v in self.send_waiters if g != gid]
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{len(self.buffer)}/{self.capacity}"
+        return f"<chan#{self.id} {state}>"
+
+
+class MutexVal:
+    _counter = 0
+
+    def __init__(self, rw: bool = False, create_line: int = 0):
+        MutexVal._counter += 1
+        self.id = MutexVal._counter
+        self.rw = rw
+        self.create_line = create_line
+        self.locked_by: Optional[int] = None
+        self.readers: int = 0
+
+    def can_lock(self) -> bool:
+        return self.locked_by is None and self.readers == 0
+
+    def can_rlock(self) -> bool:
+        return self.locked_by is None
+
+    def __repr__(self) -> str:
+        return f"<mutex#{self.id} locked_by={self.locked_by} readers={self.readers}>"
+
+
+class WaitGroupVal:
+    _counter = 0
+
+    def __init__(self, create_line: int = 0):
+        WaitGroupVal._counter += 1
+        self.id = WaitGroupVal._counter
+        self.create_line = create_line
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return f"<wg#{self.id} count={self.count}>"
+
+
+class CondVal:
+    """A condition variable: parked waiter set, woken by Signal/Broadcast.
+
+    MiniGo's Cond has no associated Locker (callers manage their own
+    mutexes); Wait parks until a Signal/Broadcast arrives — signals are
+    not buffered, exactly like Go's sync.Cond.
+    """
+
+    _counter = 0
+
+    def __init__(self, create_line: int = 0):
+        CondVal._counter += 1
+        self.id = CondVal._counter
+        self.create_line = create_line
+
+    def __repr__(self) -> str:
+        return f"<cond#{self.id}>"
+
+
+class ContextVal:
+    """A context whose Done() channel is closed by its cancel function."""
+
+    def __init__(self, done: Channel):
+        self.done = done
+
+    def __repr__(self) -> str:
+        return f"<context done={self.done!r}>"
+
+
+class CancelFunc:
+    def __init__(self, ctx: ContextVal):
+        self.ctx = ctx
+
+
+class StructVal:
+    def __init__(self, type_name: str, fields: Optional[Dict[str, Any]] = None):
+        self.type_name = type_name
+        self.fields: Dict[str, Any] = dict(fields or {})
+
+    def __repr__(self) -> str:
+        return f"<{self.type_name} {self.fields}>"
+
+
+class SliceVal:
+    def __init__(self, elems: List[Any]):
+        self.elems = elems
+
+    def __repr__(self) -> str:
+        return f"<slice len={len(self.elems)}>"
+
+
+class Closure:
+    """A function value paired with its defining environment."""
+
+    def __init__(self, func_name: str, env: "Env"):
+        self.func_name = func_name
+        self.env = env
+
+    def __repr__(self) -> str:
+        return f"<closure {self.func_name}>"
+
+
+class TestingT:
+    def __init__(self):
+        self.failed = False
+
+
+class Env:
+    """A lexical environment frame; closures chain to their parent."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["Env"] = None):
+        self.vars: Dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise KeyError(name)
+
+    def assign(self, name: str, value: Any) -> None:
+        """Write through to the defining frame, creating locally if new."""
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                env.vars[name] = value
+                return
+            env = env.parent
+        self.vars[name] = value

@@ -1,0 +1,119 @@
+"""Control-flow-graph queries over lowered functions.
+
+These are the graph views the analyses need: predecessor maps, reverse
+postorder, back-edge (loop) discovery, and reachability between
+instructions — the same queries GCatch issues against ``go/ssa`` CFGs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ssa import ir
+
+
+def predecessor_map(func: ir.Function) -> Dict[int, List[ir.Block]]:
+    """Map block id -> predecessor blocks (reachable subgraph only)."""
+    preds: Dict[int, List[ir.Block]] = {block.id: [] for block in func.reachable_blocks()}
+    for block in func.reachable_blocks():
+        for succ in block.successors():
+            preds.setdefault(succ.id, []).append(block)
+    return preds
+
+
+def reverse_postorder(func: ir.Function) -> List[ir.Block]:
+    """Blocks in reverse postorder from entry — the canonical analysis order."""
+    if func.entry is None:
+        return []
+    visited: Set[int] = set()
+    order: List[ir.Block] = []
+
+    def visit(block: ir.Block) -> None:
+        visited.add(block.id)
+        for succ in block.successors():
+            if succ.id not in visited:
+                visit(succ)
+        order.append(block)
+
+    visit(func.entry)
+    order.reverse()
+    return order
+
+
+def back_edges(func: ir.Function) -> List[Tuple[ir.Block, ir.Block]]:
+    """(source, header) pairs of natural-loop back edges, found by DFS."""
+    if func.entry is None:
+        return []
+    edges: List[Tuple[ir.Block, ir.Block]] = []
+    color: Dict[int, int] = {}  # 0 unvisited/absent, 1 on stack, 2 done
+    stack: List[Tuple[ir.Block, int]] = [(func.entry, 0)]
+    color[func.entry.id] = 1
+    while stack:
+        block, idx = stack[-1]
+        succs = block.successors()
+        if idx < len(succs):
+            stack[-1] = (block, idx + 1)
+            succ = succs[idx]
+            state = color.get(succ.id, 0)
+            if state == 1:
+                edges.append((block, succ))
+            elif state == 0:
+                color[succ.id] = 1
+                stack.append((succ, 0))
+        else:
+            color[block.id] = 2
+            stack.pop()
+    return edges
+
+
+def loop_headers(func: ir.Function) -> Set[int]:
+    return {header.id for _, header in back_edges(func)}
+
+
+def instruction_block(func: ir.Function, instr: ir.Instr) -> Optional[ir.Block]:
+    for block in func.reachable_blocks():
+        for candidate in block.all_instrs():
+            if candidate is instr:
+                return block
+    return None
+
+
+def block_reaches(src: ir.Block, dst: ir.Block) -> bool:
+    """True when ``dst`` is reachable from ``src`` (inclusive)."""
+    seen: Set[int] = set()
+    stack = [src]
+    while stack:
+        block = stack.pop()
+        if block.id == dst.id:
+            return True
+        if block.id in seen:
+            continue
+        seen.add(block.id)
+        stack.extend(block.successors())
+    return False
+
+
+def instr_reaches(func: ir.Function, first: ir.Instr, second: ir.Instr) -> bool:
+    """True when ``second`` can execute after ``first`` on some path."""
+    first_block = instruction_block(func, first)
+    second_block = instruction_block(func, second)
+    if first_block is None or second_block is None:
+        return False
+    if first_block.id == second_block.id:
+        instrs = list(first_block.all_instrs())
+        first_idx = next(i for i, x in enumerate(instrs) if x is first)
+        second_idx = next(i for i, x in enumerate(instrs) if x is second)
+        if first_idx < second_idx:
+            return True
+        # same block but later-to-earlier still reaches through a loop
+        return any(block_reaches(succ, second_block) for succ in first_block.successors())
+    return any(block_reaches(succ, second_block) for succ in first_block.successors())
+
+
+def exit_blocks(func: ir.Function) -> List[ir.Block]:
+    """Blocks terminated by Return or Panic."""
+    return [
+        block
+        for block in func.reachable_blocks()
+        if isinstance(block.terminator, (ir.Return, ir.Panic))
+    ]

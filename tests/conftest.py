@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssa.builder import build_program
+
+
+def build(source: str, filename: str = "test.go"):
+    """Parse + lower a MiniGo snippet (adds the package clause)."""
+    if not source.lstrip().startswith("package"):
+        source = "package main\n" + source
+    return build_program(source, filename)
+
+
+@pytest.fixture
+def figure1_source() -> str:
+    from repro.corpus.snippets import FIGURE1
+
+    return FIGURE1.source
+
+
+@pytest.fixture
+def figure3_source() -> str:
+    from repro.corpus.snippets import FIGURE3
+
+    return FIGURE3.source
+
+
+@pytest.fixture
+def figure4_source() -> str:
+    from repro.corpus.snippets import FIGURE4
+
+    return FIGURE4.source

@@ -1,0 +1,238 @@
+"""Tests for the whole-program analyses: call graph, alias, primitives,
+scope, and the dependency graph/disentangling policy."""
+
+from repro.analysis.alias import run_alias_analysis
+from repro.analysis.callgraph import build_call_graph, transitive_touchers
+from repro.analysis.dependency import build_dependency_graph, compute_pset
+from repro.analysis.primitives import find_primitives
+from repro.analysis.scope import compute_all_scopes
+from repro.ssa import ir
+from tests.conftest import build
+
+
+def analyze(source: str):
+    prog = build(source)
+    cg = build_call_graph(prog)
+    alias = run_alias_analysis(prog, cg)
+    pmap = find_primitives(prog, cg, alias)
+    return prog, cg, alias, pmap
+
+
+class TestCallGraph:
+    def test_direct_calls(self):
+        prog = build("func a() {\n\tb()\n}\nfunc b() {\n}")
+        cg = build_call_graph(prog)
+        assert "b" in cg.callees("a")
+        assert "a" in cg.callers("b")
+
+    def test_goroutine_spawn_is_edge(self):
+        prog = build("func a() {\n\tgo b()\n}\nfunc b() {\n}")
+        cg = build_call_graph(prog)
+        assert "b" in cg.callees("a")
+
+    def test_spawn_sites(self):
+        prog = build("func a() {\n\tgo b()\n}\nfunc b() {\n}")
+        cg = build_call_graph(prog)
+        sites = cg.spawn_sites("a")
+        assert len(sites) == 1
+        assert sites[0][1] == "b"
+
+    def test_reachability_transitive(self):
+        prog = build("func a() {\n\tb()\n}\nfunc b() {\n\tc()\n}\nfunc c() {\n}")
+        cg = build_call_graph(prog)
+        assert cg.reachable_from("a") == {"a", "b", "c"}
+
+    def test_ambiguous_method_dropped(self):
+        prog = build(
+            "type x struct {\n\tp int\n}\nfunc (v *x) Run(n int) {\n}\n"
+            "type y struct {\n\tp int\n}\nfunc (v *y) Run(n int) {\n}\n"
+            "func main(w interface{}) {\n\tw.Run(1)\n}"
+        )
+        cg = build_call_graph(prog)
+        assert cg.ambiguous_sites
+        assert not cg.callees("main")
+
+    def test_unique_method_resolved(self):
+        prog = build(
+            "type x struct {\n\tp int\n}\nfunc (v *x) Solo(n int) {\n}\n"
+            "func main(w interface{}) {\n\tw.Solo(1)\n}"
+        )
+        cg = build_call_graph(prog)
+        assert "x.Solo" in cg.callees("main")
+
+    def test_transitive_touchers(self):
+        prog = build("func a() {\n\tb()\n}\nfunc b() {\n\tc()\n}\nfunc c() {\n}")
+        cg = build_call_graph(prog)
+        assert transitive_touchers(cg, {"c"}) == {"a", "b", "c"}
+
+
+class TestAliasAnalysis:
+    def test_assignment_flows(self):
+        prog, cg, alias, pmap = analyze(
+            "func f() {\n\tch := make(chan int)\n\td := ch\n\td <- 1\n}"
+        )
+        chans = [p for p in pmap if p.site.kind == "chan"]
+        assert len(chans) == 1
+        assert chans[0].ops_of_kind("send")
+
+    def test_parameter_flows(self):
+        prog, cg, alias, pmap = analyze(
+            "func worker(c chan int) {\n\tc <- 1\n}\n"
+            "func f() {\n\tch := make(chan int)\n\tworker(ch)\n}"
+        )
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        assert any(op.function == "worker" for op in chan.operations)
+
+    def test_closure_free_var_flows(self):
+        prog, cg, alias, pmap = analyze(
+            "func f() {\n\tch := make(chan int)\n\tgo func() {\n\t\tch <- 1\n\t}()\n\t<-ch\n}"
+        )
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        kinds = {op.kind for op in chan.operations}
+        assert kinds == {"create", "send", "recv"}
+
+    def test_struct_field_flows(self):
+        prog, cg, alias, pmap = analyze(
+            "type s struct {\n\tc chan int\n}\n"
+            "func f() {\n\tch := make(chan int)\n\tv := s{c: ch}\n\tv.c <- 1\n\t<-ch\n}"
+        )
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        assert chan.ops_of_kind("send") and chan.ops_of_kind("recv")
+
+    def test_channel_through_channel_not_tracked(self):
+        prog, cg, alias, pmap = analyze(
+            "func f() {\n\tinner := make(chan int)\n\tcarrier := make(chan chan int, 1)\n"
+            "\tcarrier <- inner\n\tc := <-carrier\n\tc <- 1\n}"
+        )
+        inner = [p for p in pmap if "inner" in p.site.label][0]
+        # deliberate imprecision: the send through the received alias is lost
+        assert not inner.ops_of_kind("send")
+
+    def test_slice_store_not_tracked(self):
+        prog, cg, alias, pmap = analyze(
+            "func f() {\n\tch := make(chan int)\n\ts := make([]chan int, 1)\n"
+            "\ts[0] = ch\n\tc := s[0]\n\tc <- 1\n}"
+        )
+        ch = [p for p in pmap if p.site.label.startswith("ch")][0]
+        assert not ch.ops_of_kind("send")
+
+    def test_return_value_flows(self):
+        prog, cg, alias, pmap = analyze(
+            "func mk() chan int {\n\tch := make(chan int)\n\treturn ch\n}\n"
+            "func f() {\n\tc := mk()\n\tc <- 1\n}"
+        )
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        assert chan.ops_of_kind("send")
+
+
+class TestPrimitives:
+    def test_channel_creation_site(self):
+        prog, cg, alias, pmap = analyze("func f() {\n\tch := make(chan int)\n\tch <- 1\n}")
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        assert chan.site.function == "f"
+        assert chan.buffer_size() == 0
+
+    def test_buffer_size_constant(self):
+        prog, cg, alias, pmap = analyze("func f() {\n\tch := make(chan int, 7)\n\tch <- 1\n}")
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        assert chan.buffer_size() == 7
+
+    def test_buffer_size_unknown(self):
+        prog, cg, alias, pmap = analyze(
+            "func f(n int) {\n\tch := make(chan int, n)\n\tch <- 1\n}"
+        )
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        assert chan.buffer_size() is None
+
+    def test_select_cases_indexed(self):
+        prog, cg, alias, pmap = analyze(
+            "func f(a chan int) {\n\tch := make(chan int)\n"
+            "\tselect {\n\tcase <-ch:\n\tcase a <- 1:\n\t}\n}"
+        )
+        ch = [p for p in pmap if p.site.label.startswith("ch")][0]
+        recvs = ch.ops_of_kind("recv")
+        assert recvs and recvs[0].select_case is not None
+
+    def test_mutex_ops_indexed(self):
+        prog, cg, alias, pmap = analyze(
+            "func f() {\n\tvar mu sync.Mutex\n\tmu.Lock()\n\tmu.Unlock()\n}"
+        )
+        mutex = [p for p in pmap if p.is_mutex][0]
+        assert {op.kind for op in mutex.operations} == {"create", "lock", "unlock"}
+
+    def test_deferred_close_indexed(self):
+        prog, cg, alias, pmap = analyze(
+            "func f() {\n\tch := make(chan int)\n\tdefer close(ch)\n\tch <- 1\n}"
+        )
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        assert chan.ops_of_kind("close")
+
+
+class TestScopeAndDependency:
+    FIG1 = (
+        "func StdCopy() int {\n\treturn 0\n}\n"
+        "func Exec(ctx context.Context) int {\n"
+        "\toutDone := make(chan int)\n"
+        "\tgo func() {\n\t\terr := StdCopy()\n\t\toutDone <- err\n\t}()\n"
+        "\tselect {\n\tcase err := <-outDone:\n\t\tif err != 0 {\n\t\t\treturn err\n\t\t}\n"
+        "\tcase <-ctx.Done():\n\t\treturn 1\n\t}\n\treturn 0\n}\n"
+        "func main() {\n\tctx := context.Background()\n\tExec(ctx)\n}"
+    )
+
+    def _full(self, source):
+        prog = build(source)
+        cg = build_call_graph(prog)
+        alias = run_alias_analysis(prog, cg)
+        pmap = find_primitives(prog, cg, alias)
+        scopes = compute_all_scopes(pmap, cg)
+        deps = build_dependency_graph(prog, cg, pmap)
+        return prog, cg, pmap, scopes, deps
+
+    def test_lca_is_creating_function(self):
+        prog, cg, pmap, scopes, deps = self._full(self.FIG1)
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        assert scopes[chan].lca == "Exec"
+
+    def test_ctxdone_scope_is_whole_program(self):
+        prog, cg, pmap, scopes, deps = self._full(self.FIG1)
+        done = [p for p in pmap if p.site.kind == "ctxdone"][0]
+        assert scopes[done].size == len(prog.functions)
+
+    def test_select_channels_mutually_dependent(self):
+        prog, cg, pmap, scopes, deps = self._full(self.FIG1)
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        done = [p for p in pmap if p.site.kind == "ctxdone"][0]
+        assert deps.circular(chan, done)
+
+    def test_pset_excludes_larger_scope(self):
+        # the paper's running example: Pset(outDone) must not contain
+        # ctx.Done(), which has the larger scope
+        prog, cg, pmap, scopes, deps = self._full(self.FIG1)
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        pset = compute_pset(chan, deps, scopes)
+        assert pset == [chan]
+
+    def test_pset_includes_smaller_circular_mutex(self):
+        source = (
+            "func f() {\n\tvar mu sync.Mutex\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tmu.Lock()\n\t\tch <- 1\n\t\tmu.Unlock()\n\t}()\n"
+            "\tmu.Lock()\n\t<-ch\n\tmu.Unlock()\n}"
+        )
+        prog, cg, pmap, scopes, deps = self._full(source)
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        mutex = [p for p in pmap if p.is_mutex][0]
+        pset = compute_pset(chan, deps, scopes)
+        pset_other = compute_pset_other = None
+        assert (mutex in pset) or (
+            chan in compute_pset(mutex, deps, scopes)
+        ), "one of the two analyses must see both primitives"
+
+    def test_unrelated_channels_not_in_pset(self):
+        source = (
+            "func f() {\n\ta := make(chan int)\n\tgo func() {\n\t\ta <- 1\n\t}()\n\t<-a\n}\n"
+            "func g() {\n\tb := make(chan int)\n\tgo func() {\n\t\tb <- 1\n\t}()\n\t<-b\n}"
+        )
+        prog, cg, pmap, scopes, deps = self._full(source)
+        a = [p for p in pmap if p.site.label.startswith("a")][0]
+        pset = compute_pset(a, deps, scopes)
+        assert all("b" != p.site.label for p in pset)

@@ -1,0 +1,146 @@
+"""Tests for the public API facade and the report/table helpers."""
+
+import pytest
+
+from repro import (
+    Project,
+    build_program,
+    detect_and_fix,
+    detect_bmoc,
+    explore_schedules,
+    run_gcatch,
+    run_program,
+)
+from repro.detector.reporting import BlockedOp, BugReport, dedup_reports
+from repro.detector.suspicious import enumerate_groups
+from repro.report.table import cell, plain, render_simple, render_table
+
+
+class TestPublicApi:
+    SOURCE = (
+        "package main\n\nfunc main() {\n\tch := make(chan int)\n"
+        "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}\n"
+    )
+
+    def test_exports_work_together(self):
+        project = Project.from_source(self.SOURCE, "x.go")
+        result = project.detect()
+        assert len(result.bmoc.reports) == 1
+        fix = project.fix(result.bmoc.reports[0])
+        assert fix.fixed
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "prog.go"
+        path.write_text(self.SOURCE)
+        project = Project.from_file(str(path))
+        assert project.filename.endswith("prog.go")
+        assert "main" in project.program.functions
+
+    def test_run_and_stress(self):
+        project = Project.from_source(self.SOURCE)
+        outcome = project.run(seed=1)
+        assert outcome.output == ["0"]
+        runs = project.stress(seeds=5)
+        assert len(runs) == 5
+
+    def test_apply_fix_requires_patch(self):
+        project = Project.from_source(self.SOURCE)
+        result = project.detect()
+        fix = project.fix(result.bmoc.reports[0])
+        fix.patch = None
+        with pytest.raises(ValueError):
+            project.apply_fix(fix)
+
+    def test_detect_and_fix_one_shot(self):
+        summary = detect_and_fix(self.SOURCE)
+        assert len(summary.results) == 1
+        assert summary.fixed()
+
+    def test_module_level_functions(self):
+        program = build_program(self.SOURCE, "x.go")
+        assert detect_bmoc(program).reports
+        assert run_gcatch(program).bmoc.reports
+        assert run_program(program, seed=0).output == ["0"]
+        assert len(explore_schedules(program, seeds=3)) == 3
+
+
+class TestReporting:
+    def _report(self, line: int, category: str = "bmoc-chan") -> BugReport:
+        return BugReport(
+            category=category,
+            primitive=None,
+            blocked_ops=[BlockedOp(kind="send", line=line, function="f", prim_label="ch")],
+            description="test",
+        )
+
+    def test_dedup_by_identity(self):
+        reports = [self._report(3), self._report(3), self._report(4)]
+        assert len(dedup_reports(reports)) == 2
+
+    def test_categories_distinguish(self):
+        reports = [self._report(3, "bmoc-chan"), self._report(3, "bmoc-mutex")]
+        assert len(dedup_reports(reports)) == 2
+
+    def test_lines_sorted_unique(self):
+        report = self._report(9)
+        report.extra_lines = [2, 9]
+        assert report.lines == [2, 9]
+
+    def test_render_contains_category(self):
+        assert "[bmoc-chan]" in self._report(1).render()
+
+
+class TestTables:
+    def test_cell_formatting(self):
+        assert cell(0, 0) == "-"
+        assert cell(3, 1) == "3(1)"
+        assert plain(0) == "-"
+        assert plain(7) == "7"
+
+    def test_render_table_alignment(self):
+        rows = [{"app": "X", "bmoc_c": "1(0)", "total": "1(0)", "s1": "1"}]
+        text = render_table(rows, title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "App Name" in lines[1]
+        assert "X" in lines[3]
+
+    def test_render_simple(self):
+        text = render_simple(["a", "b"], [["1", "2"], ["3", "4"]], title="S")
+        assert text.startswith("S\n")
+        assert "3" in text
+
+
+class TestSuspiciousGroups:
+    def test_groups_exclude_matching_pairs(self):
+        from tests.conftest import build
+        from repro.analysis.alias import run_alias_analysis
+        from repro.analysis.callgraph import build_call_graph
+        from repro.analysis.dependency import build_dependency_graph, compute_pset
+        from repro.analysis.primitives import find_primitives
+        from repro.analysis.scope import compute_all_scopes
+        from repro.detector.paths import PathEnumerator, enumerate_combinations
+
+        program = build(
+            "func f() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\t<-ch\n}"
+        )
+        cg = build_call_graph(program)
+        alias = run_alias_analysis(program, cg)
+        pmap = find_primitives(program, cg, alias)
+        scopes = compute_all_scopes(pmap, cg)
+        deps = build_dependency_graph(program, cg, pmap)
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        pset = compute_pset(chan, deps, scopes)
+        enumerator = PathEnumerator(program, cg, alias, pmap, pset, scopes[chan].functions)
+        combos = enumerate_combinations(enumerator, scopes[chan].lca)
+        for combo in combos:
+            for group in enumerate_groups(combo):
+                kinds = set()
+                for stop in group:
+                    event = stop.event
+                    kinds.add((event.kind, id(event.prim)))
+                # a send+recv pair on the same channel never forms a group
+                assert not (
+                    ("send", id(chan)) in kinds and ("recv", id(chan)) in kinds
+                )

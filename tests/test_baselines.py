@@ -1,0 +1,67 @@
+"""Tests for the §7 baseline detectors (vet/staticcheck and Go's runtime)."""
+
+from repro.detector.baselines import (
+    check_deferred_double_lock,
+    run_dynamic_deadlock_detector,
+    run_static_suites,
+)
+from tests.conftest import build
+
+
+class TestStaticSuites:
+    def test_defer_lock_typo_detected(self):
+        program = build(
+            "func f() {\n\tvar mu sync.Mutex\n\tmu.Lock()\n\tdefer mu.Lock()\n}"
+        )
+        reports = check_deferred_double_lock(program)
+        assert len(reports) == 1
+        assert reports[0].category == "defer-lock-typo"
+
+    def test_correct_defer_unlock_clean(self):
+        program = build(
+            "func f() {\n\tvar mu sync.Mutex\n\tmu.Lock()\n\tdefer mu.Unlock()\n}"
+        )
+        assert check_deferred_double_lock(program) == []
+
+    def test_fatal_in_goroutine_detected(self):
+        program = build(
+            'func TestX(t *testing.T) {\n\tgo func() {\n\t\tt.Fatal("x")\n\t}()\n}'
+        )
+        result = run_static_suites(program)
+        assert len(result.fatal_reports) == 1
+
+    def test_suites_find_zero_bmoc_bugs(self, figure1_source):
+        # the paper's headline comparison: vet/staticcheck detect 0/149
+        # BMOC bugs; our Figure 1 instance is invisible to them
+        program = build(figure1_source)
+        result = run_static_suites(program)
+        assert result.reports == []
+
+
+class TestDynamicDetector:
+    def test_global_deadlock_caught(self):
+        program = build("func main() {\n\tch := make(chan int)\n\tch <- 1\n}")
+        result = run_dynamic_deadlock_detector(program, seeds=5)
+        assert result.global_deadlocks == 5
+        assert result.detected_anything
+
+    def test_partial_deadlock_missed(self):
+        # a leaked child with a live main goroutine: the BMOC symptom that
+        # Go's built-in detector cannot see
+        program = build(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+        )
+        result = run_dynamic_deadlock_detector(program, seeds=5)
+        assert result.global_deadlocks == 0
+        assert result.partial_deadlocks_missed == 5
+        assert not result.detected_anything
+
+    def test_clean_program(self):
+        program = build(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(<-ch)\n}"
+        )
+        result = run_dynamic_deadlock_detector(program, seeds=5)
+        assert result.global_deadlocks == 0
+        assert result.partial_deadlocks_missed == 0

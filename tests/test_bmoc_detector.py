@@ -1,0 +1,175 @@
+"""Tests for the BMOC detector (Algorithm 1 end-to-end)."""
+
+from repro.detector.bmoc import detect_bmoc
+from repro.runtime.scheduler import explore_schedules
+from tests.conftest import build
+
+
+def detect(source: str):
+    return detect_bmoc(build(source))
+
+
+class TestDetection:
+    def test_figure1_bug_found_with_correct_root_cause(self, figure1_source):
+        result = detect_bmoc(build(figure1_source, "docker.go"))
+        assert len(result.reports) == 1
+        report = result.reports[0]
+        assert report.category == "bmoc-chan"
+        blocked = report.blocked_ops[0]
+        assert blocked.kind == "send"
+        assert blocked.prim_label == "outDone"
+        assert report.witness is not None
+
+    def test_figure1_patched_is_clean(self, figure1_source):
+        patched = figure1_source.replace("make(chan int)", "make(chan int, 1)")
+        result = detect_bmoc(build(patched))
+        assert result.reports == []
+
+    def test_figure3_bug_found(self, figure3_source):
+        result = detect_bmoc(build(figure3_source))
+        assert len(result.bmoc_channel_bugs()) == 1
+        assert result.reports[0].blocked_ops[0].kind == "recv"
+
+    def test_figure4_bug_found(self, figure4_source):
+        result = detect_bmoc(build(figure4_source))
+        assert len(result.bmoc_channel_bugs()) == 1
+        assert result.reports[0].blocked_ops[0].kind == "send"
+
+    def test_leaked_sender(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+        )
+        assert len(result.reports) == 1
+
+    def test_blocked_receiver_in_parent(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tselect {\n\t\tcase ch <- 1:\n\t\tdefault:\n\t\t}\n\t}()\n"
+            "\t<-ch\n}"
+        )
+        assert result.reports
+        assert any(op.kind == "recv" for r in result.reports for op in r.blocked_ops)
+
+    def test_channel_mutex_deadlock_categorized(self):
+        result = detect(
+            "func main() {\n\tvar mu sync.Mutex\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tmu.Lock()\n\t\tch <- 1\n\t\tmu.Unlock()\n\t}()\n"
+            "\tmu.Lock()\n\t<-ch\n\tmu.Unlock()\n}"
+        )
+        assert result.bmoc_mutex_bugs()
+
+    def test_report_carries_scope_and_witness(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+        )
+        report = result.reports[0]
+        assert report.scope_functions
+        assert "O" in report.witness.render()
+        rendered = report.render()
+        assert "blocks forever" in rendered
+
+
+class TestNoFalseAlarms:
+    def test_clean_rendezvous(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\t<-ch\n}"
+        )
+        assert result.reports == []
+
+    def test_clean_buffered_single_send(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int, 1)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\t<-ch\n}"
+        )
+        assert result.reports == []
+
+    def test_clean_close_signal(self):
+        result = detect(
+            "func main() {\n\tdone := make(chan struct{})\n"
+            "\tgo func() {\n\t\tprintln(1)\n\t\tclose(done)\n\t}()\n\t<-done\n}"
+        )
+        assert result.reports == []
+
+    def test_clean_worker_pipeline(self):
+        result = detect(
+            "func main() {\n\tjobs := make(chan int, 3)\n"
+            "\tgo func() {\n\t\tjobs <- 1\n\t\tjobs <- 2\n\t\tclose(jobs)\n\t}()\n"
+            "\tfor v := range jobs {\n\t\tprintln(v)\n\t}\n}"
+        )
+        assert result.reports == []
+
+    def test_ctx_done_wait_not_reported(self):
+        result = detect(
+            "func main() {\n\tctx := context.Background()\n\t<-ctx.Done()\n}"
+        )
+        # waiting on a context forever is runtime-controlled, not a BMOC bug
+        assert result.reports == []
+
+
+class TestDetectorRuntimeAgreement:
+    """Every detector report on these programs corresponds to a schedule
+    that actually blocks — and patched versions neither report nor block."""
+
+    CASES = [
+        (
+            "leak",
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}",
+            True,
+        ),
+        (
+            "ok",
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(<-ch)\n}",
+            False,
+        ),
+        (
+            "closed",
+            "func main() {\n\tch := make(chan int)\n\tclose(ch)\n\tprintln(<-ch)\n}",
+            False,
+        ),
+    ]
+
+    def test_agreement(self):
+        for name, source, expect_bug in self.CASES:
+            program = build(source)
+            reports = detect_bmoc(program).reports
+            runs = explore_schedules(program, seeds=20, max_steps=5000)
+            dynamic = any(r.blocked_forever for r in runs)
+            assert bool(reports) == expect_bug, name
+            assert dynamic == expect_bug, name
+
+
+class TestStats:
+    def test_stats_populated(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+        )
+        stats = result.stats
+        assert stats.channels_analyzed == 1
+        assert stats.combinations >= 1
+        assert stats.solver_calls >= 1
+        assert stats.sat_results >= 1
+        assert stats.elapsed_seconds > 0
+
+    def test_disentangle_false_uses_main(self):
+        source = (
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+        )
+        result = detect_bmoc(build(source), disentangle=False)
+        assert len(result.reports) == 1
+
+    def test_deduplication(self):
+        # two identical risky sends at different lines: two distinct bugs
+        result = detect(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n"
+            "\tgo func() {\n\t\tch <- 2\n\t}()\n\tprintln(0)\n}"
+        )
+        lines = {op.line for r in result.reports for op in r.blocked_ops}
+        assert len(lines) == 2

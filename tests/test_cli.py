@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.snippets import FIGURE1
+
+BUGGY = FIGURE1.source
+
+CLEAN = """package main
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	println(<-ch)
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.go"
+    path.write_text(BUGGY)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.go"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestDetectCommand:
+    def test_reports_bug(self, buggy_file, capsys):
+        code = main(["detect", buggy_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bmoc-chan" in out
+        assert "outDone" in out
+
+    def test_clean_program(self, clean_file, capsys):
+        code = main(["detect", clean_file])
+        assert code == 0
+        assert "no bugs detected" in capsys.readouterr().out
+
+    def test_whole_program_mode(self, buggy_file, capsys):
+        code = main(["detect", "--no-disentangle", buggy_file])
+        assert code == 1
+
+
+class TestFixCommand:
+    def test_prints_diff(self, buggy_file, capsys):
+        code = main(["fix", buggy_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy: buffer" in out
+        assert "make(chan int, 1)" in out
+
+    def test_write_applies_patch(self, buggy_file, capsys):
+        main(["fix", "--write", buggy_file])
+        patched = open(buggy_file).read()
+        assert "make(chan int, 1)" in patched
+        # the patched file is clean
+        code = main(["detect", buggy_file])
+        assert code == 0
+
+    def test_nothing_to_fix(self, clean_file, capsys):
+        code = main(["fix", clean_file])
+        assert code == 0
+        assert "no channel-only BMOC bugs" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_leak_reported(self, buggy_file, capsys):
+        code = main(["run", buggy_file, "--seeds", "3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "LEAKED" in out
+
+    def test_clean_run(self, clean_file, capsys):
+        code = main(["run", clean_file, "--seeds", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0/3 schedule(s) misbehaved" in out
+
+
+class TestNonblockingCommand:
+    def test_detects_send_on_closed(self, tmp_path, capsys):
+        path = tmp_path / "nb.go"
+        path.write_text(
+            "package main\nfunc main() {\n\tch := make(chan int, 1)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tclose(ch)\n}\n"
+        )
+        code = main(["nonblocking", str(path)])
+        assert code == 1
+        assert "send-on-closed" in capsys.readouterr().out
+
+
+class TestCorpusCommands:
+    def test_table1_subset(self, capsys):
+        code = main(["table1", "bbolt"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bbolt" in out and "Total" in out

@@ -1,0 +1,210 @@
+"""Tests for the evaluation corpus: specs, templates, app assembly."""
+
+import pytest
+
+from repro.corpus import templates as T
+from repro.corpus.apps import build_corpus, corpus_app
+from repro.corpus.bugset import build_bug_set
+from repro.corpus.snippets import ALL_SNIPPETS, snippet
+from repro.corpus.specs import TABLE1, Cell, spec_by_name, totals
+from repro.detector.gcatch import run_gcatch
+from repro.fixer.dispatcher import GFix
+from repro.ssa.builder import build_program
+
+
+class TestSpecs:
+    def test_twenty_one_apps(self):
+        assert len(TABLE1) == 21
+
+    def test_paper_totals(self):
+        sums = totals()
+        assert sums["bmoc_c"] == Cell(147, 46)
+        assert sums["bmoc_m"] == Cell(2, 5)
+        assert sums["forget_unlock"] == Cell(32, 15)
+        assert sums["double_lock"] == Cell(19, 16)
+        assert sums["conflict_lock"] == Cell(9, 5)
+        assert sums["struct_field"] == Cell(33, 31)
+        assert sums["fatal"] == Cell(26, 0)
+
+    def test_fix_totals(self):
+        assert sum(s.fix_s1 for s in TABLE1) == 99
+        assert sum(s.fix_s2 for s in TABLE1) == 4
+        assert sum(s.fix_s3 for s in TABLE1) == 21
+
+    def test_total_reports(self):
+        grand = totals()
+        real = sum(c.real for c in grand.values())
+        fp = sum(c.fp for c in grand.values())
+        assert (real, fp) == (268, 118)
+
+    def test_unfixable_distribution(self):
+        reasons = {}
+        for spec in TABLE1:
+            for reason, count in spec.unfixable:
+                reasons[reason] = reasons.get(reason, 0) + count
+        assert reasons == {
+            "parent-blocked": 9,
+            "side-effects": 10,
+            "recv-value-used": 1,
+            "complex-goroutines": 3,
+        }
+
+    def test_spec_by_name(self):
+        assert spec_by_name("Docker").bmoc_c == Cell(49, 8)
+        with pytest.raises(KeyError):
+            spec_by_name("NotAnApp")
+
+
+class TestTemplates:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            T.bmocc_s1_ctx,
+            T.bmocc_s1_race,
+            T.bmocc_s2_fatal,
+            T.bmocc_s3_loop,
+            T.bmocc_unfix_parent,
+            T.bmocc_unfix_side,
+            T.bmocc_unfix_complex,
+            T.bmocc_unfix_recvused,
+            T.bmocm_real,
+            T.fp_nonreadonly,
+            T.fp_loop_unroll,
+            T.fp_chan_through_chan,
+            T.fp_slice_store,
+            T.fp_interface,
+            T.fp_bmocm,
+        ],
+    )
+    def test_bmoc_template_seeds_exactly_one_channel_report(self, factory):
+        instance = factory("Tst1")
+        program = build_program("package main\n" + instance.code, "tpl.go")
+        result = run_gcatch(program)
+        channels = {id(r.primitive) for r in result.bmoc.reports}
+        assert len(channels) == 1
+        got = (
+            "bmoc-mutex"
+            if any(r.category == "bmoc-mutex" for r in result.bmoc.reports)
+            else "bmoc-chan"
+        )
+        assert got == instance.category
+        assert not result.traditional
+
+    @pytest.mark.parametrize("factory", list(T.TRADITIONAL_REAL.values()))
+    def test_traditional_real_templates(self, factory):
+        instance = factory("Tst2")
+        program = build_program("package main\n" + instance.code, "tpl.go")
+        result = run_gcatch(program)
+        counts = {c: len(r) for c, r in result.by_category().items() if r}
+        assert counts == {instance.category: 1}
+
+    @pytest.mark.parametrize("factory", list(T.TRADITIONAL_FP.values()))
+    def test_traditional_fp_templates(self, factory):
+        instance = factory("Tst3")
+        program = build_program("package main\n" + instance.code, "tpl.go")
+        result = run_gcatch(program)
+        counts = {c: len(r) for c, r in result.by_category().items() if r}
+        assert counts == {instance.category: 1}
+
+    @pytest.mark.parametrize("factory", T.BENIGN_TEMPLATES)
+    def test_benign_templates_silent(self, factory):
+        instance = factory("Tst4")
+        program = build_program("package main\n" + instance.code, "tpl.go")
+        result = run_gcatch(program)
+        assert result.all_reports() == []
+
+    def test_fixable_templates_fix_with_expected_strategy(self):
+        for strategy, factories in T.REAL_BMOCC_BY_STRATEGY.items():
+            for factory in factories:
+                instance = factory("Tst5")
+                source = "package main\n" + instance.code
+                program = build_program(source, "tpl.go")
+                result = run_gcatch(program)
+                gfix = GFix(program, source)
+                fix = gfix.fix(result.bmoc.bmoc_channel_bugs()[0])
+                assert fix.strategy == strategy, instance.template
+
+    def test_unfixable_templates_reject_with_expected_reason(self):
+        for reason, factory in T.UNFIXABLE_BY_REASON.items():
+            instance = factory("Tst6")
+            source = "package main\n" + instance.code
+            program = build_program(source, "tpl.go")
+            result = run_gcatch(program)
+            gfix = GFix(program, source)
+            fix = gfix.fix(result.bmoc.bmoc_channel_bugs()[0])
+            assert not fix.fixed
+            assert fix.reason == reason, instance.template
+
+
+class TestApps:
+    def test_corpus_builds_21_apps(self):
+        corpus = build_corpus()
+        assert len(corpus) == 21
+        assert [app.name for app in corpus] == [spec.name for spec in TABLE1]
+
+    def test_every_app_parses(self):
+        for app in build_corpus():
+            program = app.program()
+            assert "main" in program.functions
+
+    def test_instance_count_matches_spec(self):
+        app = corpus_app("Docker")
+        bmocc_real = app.instances_of("bmoc-chan", real=True)
+        assert len(bmocc_real) == app.spec.bmoc_c.real
+        bmocc_fp = app.instances_of("bmoc-chan", real=False)
+        assert len(bmocc_fp) == app.spec.bmoc_c.fp
+
+    def test_marker_lookup(self):
+        app = corpus_app("bbolt")
+        instance = app.instances[0]
+        assert app.instance_for_function(f"someFunc{instance.uid}") is instance
+
+    def test_marker_lookup_prefers_longest(self):
+        app = corpus_app("Go")  # has uids Go1 ... Go1xx
+        long_uid = next(i for i in app.instances if i.uid == "Go12")
+        assert app.instance_for_function("driveExecGo12") is long_uid
+
+    def test_empty_apps_have_only_benign_code(self):
+        app = corpus_app("Gin")
+        result = run_gcatch(app.program())
+        assert result.all_reports() == []
+
+    def test_size_weights_reflected(self):
+        kube = corpus_app("Kubernetes")
+        gin = corpus_app("Gin")
+        assert kube.loc() > gin.loc()
+
+
+class TestBugSet:
+    def test_49_cases_33_detectable(self):
+        cases = build_bug_set()
+        assert len(cases) == 49
+        assert sum(1 for c in cases if c.detectable) == 33
+
+    def test_miss_reasons_present(self):
+        reasons = {c.miss_reason for c in build_bug_set() if not c.detectable}
+        assert reasons == {
+            "critical-section-above-lca",
+            "needs-dynamic-value",
+            "unmodeled-primitive",
+            "nil-channel-dataflow",
+        }
+
+    def test_all_cases_parse(self):
+        for case in build_bug_set():
+            program = build_program(case.source, case.case_id + ".go")
+            assert program.functions
+
+
+class TestSnippets:
+    def test_three_snippets(self):
+        assert len(ALL_SNIPPETS) == 3
+
+    def test_lookup(self):
+        assert snippet("docker_exec").figure == "Figure 1"
+        with pytest.raises(KeyError):
+            snippet("nope")
+
+    def test_buggy_line_marker_present(self):
+        for sn in ALL_SNIPPETS:
+            assert sn.buggy_line_marker in sn.source

@@ -1,0 +1,51 @@
+"""Dynamic ground truth for a corpus application: seeded real BMOC bugs
+leak on some schedule, while FP-inducing and benign code never does."""
+
+import pytest
+
+from repro.corpus.apps import corpus_app
+from repro.runtime.scheduler import explore_schedules
+
+
+@pytest.fixture(scope="module")
+def app():
+    return corpus_app("gRPC")
+
+
+def _drivers(app, predicate):
+    return [
+        (instance.template, instance.driver)
+        for instance in app.instances
+        if instance.driver and not instance.driver.startswith("Test") and predicate(instance)
+    ]
+
+
+def test_real_bmoc_drivers_leak(app):
+    program = app.program()
+    drivers = _drivers(app, lambda i: i.real and i.category.startswith("bmoc"))
+    assert drivers
+    for template, driver in drivers:
+        runs = explore_schedules(program, entry=driver, seeds=25, max_steps=10_000)
+        leaks = sum(r.blocked_forever for r in runs)
+        assert leaks > 0, f"{template}/{driver} never leaked"
+
+
+def test_fp_drivers_never_leak(app):
+    program = app.program()
+    drivers = _drivers(app, lambda i: not i.real and i.category.startswith("bmoc"))
+    for template, driver in drivers:
+        runs = explore_schedules(program, entry=driver, seeds=25, max_steps=10_000)
+        assert not any(r.blocked_forever for r in runs), f"{template}/{driver} leaked"
+        assert not any(r.panicked for r in runs), f"{template}/{driver} panicked"
+
+
+def test_benign_drivers_clean(app):
+    program = app.program()
+    drivers = _drivers(app, lambda i: i.category == "benign")
+    assert drivers
+    for template, driver in drivers:
+        runs = explore_schedules(program, entry=driver, seeds=10, max_steps=10_000)
+        for outcome in runs:
+            assert not outcome.blocked_forever, f"{template}/{driver} leaked"
+            assert not outcome.panicked, f"{template}/{driver} panicked"
+            assert not outcome.hit_step_limit, f"{template}/{driver} diverged"

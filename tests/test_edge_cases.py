@@ -1,0 +1,115 @@
+"""Edge-case tests across modules: library scopes, patch mechanics, CLI
+corpus commands, and report rendering."""
+
+from repro.analysis.alias import run_alias_analysis
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.primitives import find_primitives
+from repro.analysis.scope import compute_scope
+from repro.cli import main
+from repro.fixer.patch import LineEdit, Patch
+from tests.conftest import build
+
+
+class TestLibraryScope:
+    def test_union_scope_when_no_single_root(self):
+        # a library: producer and consumer are both entry points; no single
+        # function covers all of the channel's operations, so the scope is
+        # the union of the covering functions' reaches (paper §3.2)
+        source = (
+            "type box struct {\n\tc chan int\n}\n"
+            "func Init(b *box) {\n\tb.c = make(chan int, 1)\n}\n"
+            "func Put(b *box) {\n\tb.c <- 1\n}\n"
+            "func Get(b *box) {\n\tprintln(<-b.c)\n}"
+        )
+        program = build(source)
+        cg = build_call_graph(program)
+        alias = run_alias_analysis(program, cg)
+        pmap = find_primitives(program, cg, alias)
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        scope = compute_scope(chan, cg)
+        assert scope.lca is None
+        assert {"Init", "Put", "Get"} <= scope.functions
+
+    def test_single_root_preferred_over_union(self):
+        source = (
+            "func helper(ch chan int) {\n\tch <- 1\n}\n"
+            "func Run() {\n\tch := make(chan int, 1)\n\thelper(ch)\n\tprintln(<-ch)\n}"
+        )
+        program = build(source)
+        cg = build_call_graph(program)
+        alias = run_alias_analysis(program, cg)
+        pmap = find_primitives(program, cg, alias)
+        chan = [p for p in pmap if p.site.kind == "chan"][0]
+        scope = compute_scope(chan, cg)
+        assert scope.lca == "Run"
+
+
+class TestPatchEdges:
+    def test_insert_before_first_line(self):
+        patch = Patch("buffer", "t", "a\nb", edits=[LineEdit(after=0, new_lines=["top"])])
+        assert patch.apply() == "top\na\nb"
+
+    def test_multiple_edits_compose(self):
+        patch = Patch(
+            "stop",
+            "t",
+            "one\ntwo\nthree",
+            edits=[
+                LineEdit(after=1, new_lines=["inserted"]),
+                LineEdit(line=3, new_lines=["THREE"]),
+            ],
+        )
+        assert patch.apply() == "one\ninserted\ntwo\nTHREE"
+
+    def test_delete_and_insert_same_region(self):
+        patch = Patch(
+            "defer",
+            "t",
+            "a\nb\nc",
+            edits=[LineEdit(line=2, new_lines=[]), LineEdit(after=3, new_lines=["tail"])],
+        )
+        assert patch.apply() == "a\nc\ntail"
+
+    def test_diff_of_empty_patch(self):
+        patch = Patch("buffer", "t", "a\nb", edits=[])
+        assert patch.unified_diff() == ""
+        assert patch.changed_lines() == 0
+
+
+class TestCliCorpusCommands:
+    def test_coverage_command(self, capsys):
+        code = main(["coverage"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "coverage: 33/49 (67%)" in out
+        assert "missed (unmodeled-primitive)" in out
+
+    def test_table1_full_names_filter(self, capsys):
+        code = main(["table1", "Gin", "mkcert"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Gin" in out and "mkcert" in out
+
+
+class TestDetectOnBenignPrograms:
+    def test_empty_program(self):
+        from repro.detector.gcatch import run_gcatch
+
+        result = run_gcatch(build("func main() {\n}"))
+        assert result.all_reports() == []
+
+    def test_program_without_main(self):
+        from repro.detector.bmoc import detect_bmoc
+
+        result = detect_bmoc(
+            build("func Lib(ch chan int) {\n\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}")
+        )
+        # the parameter channel has no creation site in the program: the
+        # detector has nothing to anchor an analysis to
+        assert result.stats.channels_analyzed == 0
+
+    def test_channel_never_used(self):
+        from repro.detector.bmoc import detect_bmoc
+
+        result = detect_bmoc(build("func main() {\n\tch := make(chan int)\n\tprintln(0)\n\t_ = ch\n}"))
+        assert result.reports == []

@@ -1,0 +1,89 @@
+"""Tests for the experiment-runner layer (repro.report.experiments)."""
+
+import pytest
+
+from repro.corpus.apps import corpus_app
+from repro.report.experiments import (
+    AppEvaluation,
+    ChannelVerdict,
+    CorpusEvaluation,
+    evaluate_app,
+    evaluate_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def bbolt_eval():
+    return evaluate_app(corpus_app("bbolt"))
+
+
+class TestAppEvaluation:
+    def test_bmoc_counts(self, bbolt_eval):
+        assert bbolt_eval.bmoc_counts("bmoc-chan") == (2, 0)
+        assert bbolt_eval.bmoc_counts("bmoc-mutex") == (0, 0)
+
+    def test_traditional_counts(self, bbolt_eval):
+        assert bbolt_eval.traditional_verdicts["fatal-goroutine"] == (4, 0)
+        assert bbolt_eval.traditional_verdicts["forget-unlock"] == (0, 0)
+
+    def test_fix_counts(self, bbolt_eval):
+        assert bbolt_eval.fix_counts() == {"buffer": 1, "defer": 0, "stop": 1}
+
+    def test_every_verdict_matched_to_a_seed(self, bbolt_eval):
+        for verdict in bbolt_eval.bmoc_verdicts:
+            assert verdict.instance is not None
+            assert verdict.instance.category.startswith("bmoc")
+
+    def test_verdict_real_flag(self, bbolt_eval):
+        assert all(v.is_real for v in bbolt_eval.bmoc_verdicts)
+
+    def test_elapsed_recorded(self, bbolt_eval):
+        assert bbolt_eval.elapsed_seconds > 0
+
+
+class TestCorpusEvaluation:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return evaluate_corpus(names=["bbolt", "Gin", "frp"])
+
+    def test_subset_selection(self, small):
+        # subsets preserve Table 1 row order, not request order
+        assert [e.app.name for e in small.evaluations] == ["Gin", "frp", "bbolt"]
+
+    def test_table_rows_include_total(self, small):
+        rows = small.table1_rows()
+        assert rows[-1]["app"] == "Total"
+        assert rows[-1]["bmoc_c"] == "2(0)"
+
+    def test_render_is_aligned_text(self, small):
+        text = small.render()
+        lines = text.split("\n")
+        assert len({len(l) for l in lines[1:4]}) <= 2  # header/sep/rows aligned
+
+    def test_totals_accumulate(self, small):
+        totals = small.totals()
+        assert totals["bmoc_c"] == (2, 0)
+        assert totals["forget_unlock"] == (1, 0)  # frp's single bug
+
+    def test_fp_causes_empty_for_fp_free_subset(self, small):
+        assert small.fp_causes() == {}
+
+    def test_fp_causes_present_for_fp_heavy_app(self):
+        evaluation = evaluate_corpus(names=["Prometheus"])
+        causes = evaluation.fp_causes()
+        assert sum(causes.values()) == 1  # Prometheus has exactly 1 BMOC FP
+
+
+class TestChannelVerdict:
+    def test_fp_cause_passthrough(self):
+        from repro.corpus.templates import fp_nonreadonly
+
+        instance = fp_nonreadonly("Vx")
+        verdict = ChannelVerdict(instance=instance, category="bmoc-chan")
+        assert not verdict.is_real
+        assert verdict.fp_cause == "infeasible-path"
+
+    def test_unmatched_channel_counts_as_fp(self):
+        verdict = ChannelVerdict(instance=None, category="bmoc-chan")
+        assert not verdict.is_real
+        assert verdict.fp_cause is None

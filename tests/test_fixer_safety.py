@@ -1,0 +1,176 @@
+"""Unit tests for GFix's shared safety analysis (paper §4.1)."""
+
+from repro.api import Project
+from repro.fixer.safety import (
+    BugShape,
+    analyze_shape,
+    op_in_loop,
+    recv_value_used,
+    side_effects_after,
+)
+from repro.ssa import ir
+from tests.conftest import build
+
+
+def shape_of(source: str) -> BugShape:
+    project = Project.from_source(
+        source if source.lstrip().startswith("package") else "package main\n" + source
+    )
+    bugs = project.detect().bmoc.bmoc_channel_bugs()
+    assert bugs
+    return analyze_shape(project.program, bugs[0])
+
+
+class TestShapeAnalysis:
+    LEAKY = (
+        "func main() {\n\tch := make(chan int)\n"
+        "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+    )
+
+    def test_child_identified(self):
+        shape = shape_of(self.LEAKY)
+        assert shape.child_func == "main$lit1"
+        assert shape.creator_func == "main"
+        assert shape.blocked_in_child
+        assert shape.reject_reason is None
+
+    def test_child_ops_collected(self):
+        shape = shape_of(self.LEAKY)
+        assert [op.kind for op in shape.child_ops] == ["send"]
+
+    def test_parent_blocked_rejected(self):
+        shape = shape_of(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tselect {\n\t\tcase ch <- 1:\n\t\tdefault:\n\t\t}\n\t}()\n"
+            "\t<-ch\n}"
+        )
+        assert not shape.blocked_in_child
+        assert shape.reject_reason == "parent-blocked"
+
+    def test_two_children_rejected(self):
+        shape = shape_of(
+            "func a() int {\n\treturn 1\n}\nfunc b() int {\n\treturn 2\n}\n"
+            "func run(ctx context.Context) int {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- a()\n\t}()\n"
+            "\tgo func() {\n\t\tch <- b()\n\t}()\n"
+            "\tselect {\n\tcase v := <-ch:\n\t\treturn v\n\tcase <-ctx.Done():\n\t\treturn 0\n\t}\n}"
+        )
+        assert shape.reject_reason == "complex-goroutines"
+
+    def test_spawn_in_loop_flagged(self):
+        shape = shape_of(
+            "func run(ctx context.Context) {\n\tch := make(chan int)\n"
+            "\tfor i := 0; i < 3; i++ {\n"
+            "\t\tgo func() {\n\t\t\tch <- i\n\t\t}()\n\t}\n"
+            "\tselect {\n\tcase <-ch:\n\tcase <-ctx.Done():\n\t}\n}"
+        )
+        assert shape.spawn_in_loop
+
+
+class TestSideEffects:
+    def _after(self, source: str):
+        project = Project.from_source("package main\n" + source)
+        program = project.program
+        child = program.functions["main$lit1"]
+        send = next(i for i in child.instructions() if isinstance(i, ir.Send))
+        return side_effects_after(program, "main$lit1", send)
+
+    def test_clean_tail(self):
+        effects = self._after(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+        )
+        assert effects == []
+
+    def test_println_allowed(self):
+        effects = self._after(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t\tprintln(\"done\")\n\t}()\n\tprintln(0)\n}"
+        )
+        assert effects == []
+
+    def test_outer_write_flagged(self):
+        effects = self._after(
+            "func main() {\n\tch := make(chan int)\n\tflag := 0\n"
+            "\tgo func() {\n\t\tch <- 1\n\t\tflag = 1\n\t}()\n\tprintln(flag)\n}"
+        )
+        assert any("writes outer variable" in e for e in effects)
+
+    def test_call_flagged(self):
+        effects = self._after(
+            "func cleanup() {\n}\n"
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t\tcleanup()\n\t}()\n\tprintln(0)\n}"
+        )
+        assert any("calls cleanup" in e for e in effects)
+
+    def test_sync_op_flagged(self):
+        effects = self._after(
+            "func main() {\n\tch := make(chan int)\n\tother := make(chan int, 1)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t\tother <- 2\n\t}()\n\tprintln(0)\n}"
+        )
+        assert any("channel operation" in e for e in effects)
+
+    def test_local_write_allowed(self):
+        effects = self._after(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t\tx := 2\n\t\tprintln(x)\n\t}()\n\tprintln(0)\n}"
+        )
+        assert effects == []
+
+
+class TestLoopAndRecvQueries:
+    def test_op_in_loop(self):
+        project = Project.from_source(
+            "package main\nfunc main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tfor {\n\t\t\tch <- 1\n\t\t}\n\t}()\n\tprintln(0)\n}"
+        )
+        bugs = project.detect().bmoc.bmoc_channel_bugs()
+        shape = analyze_shape(project.program, bugs[0])
+        assert op_in_loop(project.program, shape.child_ops[0])
+
+    def test_op_not_in_loop(self):
+        project = Project.from_source(
+            "package main\nfunc main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+        )
+        bugs = project.detect().bmoc.bmoc_channel_bugs()
+        shape = analyze_shape(project.program, bugs[0])
+        assert not op_in_loop(project.program, shape.child_ops[0])
+
+    def test_recv_value_used(self):
+        project = Project.from_source(
+            "package main\nfunc main() {\n\tch := make(chan int, 1)\n\tch <- 1\n"
+            "\tv := <-ch\n\tprintln(v)\n}"
+        )
+        program = project.program
+        recv = next(
+            i for i in program.functions["main"].instructions() if isinstance(i, ir.Recv)
+        )
+        from repro.analysis.primitives import Operation
+        from repro.analysis.alias import Site
+
+        operation = Operation(
+            site=Site("chan", "main", 3, "ch"), kind="recv", function="main", instr=recv, line=5
+        )
+        assert recv_value_used(program, operation)
+
+    def test_recv_value_discarded(self):
+        project = Project.from_source(
+            "package main\nfunc main() {\n\tch := make(chan int, 1)\n\tch <- 1\n\t<-ch\n}"
+        )
+        program = project.program
+        recv = next(
+            i
+            for i in program.functions["main"].instructions()
+            if isinstance(i, ir.Recv) and i.dst is None
+        )
+        from repro.analysis.primitives import Operation
+        from repro.analysis.alias import Site
+
+        operation = Operation(
+            site=Site("chan", "main", 3, "ch"), kind="recv", function="main", instr=recv, line=5
+        )
+        assert not recv_value_used(program, operation)
+
+

@@ -1,0 +1,93 @@
+"""Integration tests: the full pipeline on the figures and corpus subsets,
+asserting the reproduced evaluation numbers against the paper."""
+
+import pytest
+
+from repro.api import Project, detect_and_fix
+from repro.corpus.snippets import ALL_SNIPPETS
+from repro.report.experiments import evaluate_app, evaluate_corpus
+from repro.corpus.apps import corpus_app
+
+
+class TestFigurePipelines:
+    @pytest.mark.parametrize("sn", ALL_SNIPPETS, ids=lambda s: s.name)
+    def test_detect_fix_validate(self, sn):
+        project = Project.from_source(sn.source, sn.name + ".go")
+        entry = "main" if "main" in project.program.functions else sn.entry
+        # detect: exactly one channel bug, on the expected line
+        result = project.detect()
+        bugs = result.bmoc.bmoc_channel_bugs()
+        assert len(bugs) == 1
+        buggy_lines = [
+            i + 1 for i, text in enumerate(sn.source.split("\n")) if sn.buggy_line_marker in text
+        ]
+        assert any(line in buggy_lines for line in bugs[0].lines)
+        # fix with the expected strategy
+        fix = project.fix(bugs[0])
+        assert fix.strategy == sn.expected_strategy
+        # the original program leaks on some schedule; the patch never does
+        original_runs = project.stress(entry=entry, seeds=20, max_steps=20000)
+        assert any(r.blocked_forever for r in original_runs)
+        patched = project.apply_fix(fix)
+        assert patched.detect().bmoc.reports == []
+        patched_runs = patched.stress(entry=entry, seeds=20, max_steps=20000)
+        assert not any(r.blocked_forever for r in patched_runs)
+
+    def test_one_shot_pipeline(self):
+        summary = detect_and_fix(ALL_SNIPPETS[0].source)
+        assert len(summary.fixed()) == 1
+
+
+class TestCorpusEvaluation:
+    @pytest.mark.parametrize("name", ["bbolt", "gRPC", "Prometheus", "HUGO", "frp"])
+    def test_app_matches_its_table1_row(self, name):
+        app = corpus_app(name)
+        evaluation = evaluate_app(app)
+        spec = app.spec
+        assert evaluation.bmoc_counts("bmoc-chan") == (spec.bmoc_c.real, spec.bmoc_c.fp)
+        assert evaluation.bmoc_counts("bmoc-mutex") == (spec.bmoc_m.real, spec.bmoc_m.fp)
+        for category, cell in (
+            ("forget-unlock", spec.forget_unlock),
+            ("double-lock", spec.double_lock),
+            ("conflict-lock", spec.conflict_lock),
+            ("struct-race", spec.struct_field),
+            ("fatal-goroutine", spec.fatal),
+        ):
+            assert evaluation.traditional_verdicts[category] == (cell.real, cell.fp), category
+        fixes = evaluation.fix_counts()
+        assert fixes["buffer"] == spec.fix_s1
+        assert fixes["defer"] == spec.fix_s2
+        assert fixes["stop"] == spec.fix_s3
+
+    def test_unfixed_reasons_match_spec(self):
+        app = corpus_app("Go")
+        evaluation = evaluate_app(app)
+        reasons = {}
+        for fix in evaluation.unfixed():
+            reasons[fix.reason] = reasons.get(fix.reason, 0) + 1
+        assert reasons == dict(app.spec.unfixable)
+
+    def test_subset_table_renders(self):
+        evaluation = evaluate_corpus(names=["bbolt", "Gin"])
+        text = evaluation.render()
+        assert "bbolt" in text and "Gin" in text and "Total" in text
+
+    def test_patches_are_correct_on_one_app(self):
+        """Every generated patch removes the bug without new reports."""
+        app = corpus_app("gRPC")
+        evaluation = evaluate_app(app)
+        project = Project.from_source(app.source, "gRPC.go")
+        for fix in evaluation.fixes:
+            if not fix.fixed:
+                continue
+            patched_source = fix.patch.apply()
+            patched = Project.from_source(patched_source, "patched.go")
+            patched_eval = patched.detect()
+            # the patched channel no longer produces a report
+            fixed_label = fix.report.primitive.site.label
+            remaining = [
+                r
+                for r in patched_eval.bmoc.reports
+                if r.primitive is not None and r.primitive.site.label == fixed_label
+            ]
+            assert remaining == []

@@ -1,0 +1,142 @@
+"""Structural tests for the IR: uses/defs contracts and block/function APIs.
+
+The analyses (read-only detection, alias constraints, side-effect checks)
+rely on every instruction reporting its reads and writes accurately, so
+each instruction kind is pinned here.
+"""
+
+from repro.ssa import ir
+
+
+V = ir.Var
+C = ir.Const
+
+
+class TestUsesAndDefs:
+    def test_make_chan(self):
+        instr = ir.MakeChan(dst=V("ch"), elem_type="int", size=C(2))
+        assert instr.defs() == [V("ch")]
+        assert instr.uses() == [C(2)]
+
+    def test_send(self):
+        instr = ir.Send(chan=V("ch"), value=V("x"))
+        assert instr.defs() == []
+        assert set(instr.uses()) == {V("ch"), V("x")}
+
+    def test_recv_with_ok(self):
+        instr = ir.Recv(dst=V("v"), ok_dst=V("ok"), chan=V("ch"))
+        assert instr.defs() == [V("v"), V("ok")]
+        assert instr.uses() == [V("ch")]
+
+    def test_recv_discard(self):
+        instr = ir.Recv(dst=None, ok_dst=None, chan=V("ch"))
+        assert instr.defs() == []
+
+    def test_call(self):
+        instr = ir.Call(dsts=[V("a"), V("b")], func_op=ir.FuncRef("f"), args=[V("x")])
+        assert instr.defs() == [V("a"), V("b")]
+        assert ir.FuncRef("f") in instr.uses()
+        assert V("x") in instr.uses()
+
+    def test_binop(self):
+        instr = ir.BinOp(dst=V("t"), op="+", left=V("a"), right=C(1))
+        assert instr.defs() == [V("t")]
+        assert set(instr.uses()) == {V("a"), C(1)}
+
+    def test_select_defs_cover_case_bindings(self):
+        block = ir.Block("target")
+        case = ir.SelectCase(kind="recv", chan=V("ch"), dst=V("v"), ok_dst=V("ok"), target=block)
+        select = ir.Select(cases=[case])
+        assert set(select.defs()) == {V("v"), V("ok")}
+        assert V("ch") in select.uses()
+
+    def test_select_successors(self):
+        a, b, d = ir.Block("a"), ir.Block("b"), ir.Block("d")
+        select = ir.Select(
+            cases=[
+                ir.SelectCase(kind="recv", chan=V("x"), target=a),
+                ir.SelectCase(kind="send", chan=V("y"), value=C(1), target=b),
+            ],
+            default_target=d,
+        )
+        assert select.successors() == [a, b, d]
+
+    def test_cond_jump_successors(self):
+        t, f = ir.Block("t"), ir.Block("f")
+        jump = ir.CondJump(cond=V("c"), true_block=t, false_block=f)
+        assert jump.successors() == [t, f]
+
+    def test_make_context_defs_include_cancel(self):
+        instr = ir.MakeContext(dst=V("ctx"), cancel_dst=V("cancel"))
+        assert set(instr.defs()) == {V("ctx"), V("cancel")}
+
+    def test_cond_instrs(self):
+        wait = ir.CondWait(cond=V("c"))
+        assert wait.uses() == [V("c")]
+        signal = ir.CondSignal(cond=V("c"), broadcast=True)
+        assert signal.uses() == [V("c")]
+        assert signal.broadcast
+
+
+class TestBlocks:
+    def test_append_after_terminate_rejected(self):
+        block = ir.Block()
+        block.terminate(ir.Return())
+        try:
+            block.append(ir.Println())
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_second_terminator_ignored(self):
+        block = ir.Block()
+        first = ir.Return()
+        block.terminate(first)
+        block.terminate(ir.Panic())
+        assert block.terminator is first
+
+    def test_all_instrs_includes_terminator(self):
+        block = ir.Block()
+        block.append(ir.Println())
+        block.terminate(ir.Return())
+        kinds = [type(i).__name__ for i in block.all_instrs()]
+        assert kinds == ["Println", "Return"]
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        func = ir.Function("f", params=[])
+        first = func.new_block("entry")
+        func.new_block("other")
+        assert func.entry is first
+
+    def test_reachable_excludes_orphans(self):
+        func = ir.Function("f", params=[])
+        entry = func.new_block("entry")
+        orphan = func.new_block("orphan")
+        entry.terminate(ir.Return())
+        orphan.terminate(ir.Return())
+        reachable = func.reachable_blocks()
+        assert entry in reachable
+        assert orphan not in reachable
+
+    def test_program_kinds_attribute(self):
+        from repro.golang.parser import parse_file
+
+        file = parse_file("package main")
+        program = ir.Program(file, {})
+        assert program.kinds == {}
+        assert program.filename == "<minigo>"
+
+
+class TestOperandEquality:
+    def test_vars_compare_by_name(self):
+        assert V("x") == V("x")
+        assert V("x") != V("y")
+
+    def test_operands_hashable(self):
+        assert len({V("x"), V("x"), C(1), C(1), ir.FuncRef("f")}) == 3
+
+    def test_method_ref_distinct_from_func_ref(self):
+        assert ir.MethodRef("Run") != ir.FuncRef("Run")

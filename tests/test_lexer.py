@@ -1,0 +1,150 @@
+"""Unit tests for the MiniGo lexer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.golang.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_identifiers(self):
+        assert kinds("foo bar_baz _x") == [
+            ("ident", "foo"),
+            ("ident", "bar_baz"),
+            ("ident", "_x"),
+            ("op", ";"),
+        ]
+
+    def test_keywords(self):
+        out = kinds("func go chan select defer")
+        assert all(kind == "keyword" for kind, _ in out)
+
+    def test_integers(self):
+        assert ("int", "42") in kinds("x := 42")
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "hello world"
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\nb\tc\"d"')
+        assert tokens[0].text == 'a\nb\tc"d'
+
+    def test_operators_maximal_munch(self):
+        assert kinds("a <- b")[1] == ("op", "<-")
+        assert kinds("a := b")[1] == ("op", ":=")
+        assert kinds("a <= b")[1] == ("op", "<=")
+        assert kinds("a < -b")[1] == ("op", "<")
+
+    def test_channel_arrow_vs_less(self):
+        out = [t.text for t in tokenize("ch <- 1") if t.kind == "op"]
+        assert "<-" in out
+
+    def test_positions_are_one_based(self):
+        tokens = tokenize("x\ny")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        y = [t for t in tokens if t.text == "y"][0]
+        assert (y.line, y.col) == (2, 1)
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("x // comment\ny") == [
+            ("ident", "x"),
+            ("op", ";"),
+            ("ident", "y"),
+            ("op", ";"),
+        ]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* b c */ d")[:2] == [("ident", "a"), ("ident", "d")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+
+class TestSemicolonInsertion:
+    def test_inserted_after_ident_at_newline(self):
+        out = kinds("x\ny")
+        assert out[1] == ("op", ";")
+
+    def test_inserted_after_close_paren(self):
+        assert ("op", ";") in kinds("f()\ng()")
+
+    def test_inserted_after_return(self):
+        out = kinds("return\nx")
+        assert out[1] == ("op", ";")
+
+    def test_not_inserted_after_operator(self):
+        out = kinds("a +\nb")
+        assert ("op", ";") not in out[:2]
+
+    def test_not_inserted_after_open_brace(self):
+        out = kinds("{\nx")
+        assert out[1] != ("op", ";")
+
+    def test_inserted_at_eof(self):
+        out = kinds("x")
+        assert out[-1] == ("op", ";")
+
+    def test_close_brace_else_same_line(self):
+        out = kinds("} else {")
+        assert ("keyword", "else") in out
+        assert ("op", ";") not in out
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"line\nbreak"')
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ok\n   #")
+        except LexError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected LexError")
+
+
+class TestProperties:
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu")), min_size=1, max_size=12))
+    def test_any_alpha_word_lexes_to_one_token(self, word):
+        tokens = [t for t in tokenize(word) if t.kind not in ("eof",) and t.text != ";"]
+        assert len(tokens) == 1
+        assert tokens[0].kind in ("ident", "keyword")
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_integers_round_trip(self, value):
+        tokens = tokenize(str(value))
+        assert tokens[0].kind == "int"
+        assert int(tokens[0].text) == value
+
+    @given(
+        st.lists(
+            st.sampled_from(["foo", "42", "<-", ":=", "(", ")", "{", "}", "chan", "go"]),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_space_separated_tokens_preserved(self, parts):
+        source = " ".join(parts)
+        texts = [t.text for t in tokenize(source) if t.kind != "eof" and t.text != ";"]
+        assert texts == parts

@@ -1,0 +1,87 @@
+"""Tests for the §6 extension: non-blocking misuse-of-channel detection."""
+
+from repro.detector.nonblocking import detect_nonblocking
+from repro.runtime.scheduler import explore_schedules
+from tests.conftest import build
+
+
+def detect(source: str):
+    return detect_nonblocking(build(source))
+
+
+class TestSendOnClosed:
+    def test_race_detected(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int, 1)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tclose(ch)\n}"
+        )
+        assert [r.category for r in result.reports] == ["send-on-closed"]
+        assert result.reports[0].blocked_ops[0].kind == "send"
+
+    def test_ordered_send_then_close_safe(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\t<-ch\n\tclose(ch)\n}"
+        )
+        assert result.reports == []
+
+    def test_producer_closes_own_channel_safe(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int, 2)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t\tclose(ch)\n\t}()\n"
+            "\tfor v := range ch {\n\t\tprintln(v)\n\t}\n}"
+        )
+        assert result.reports == []
+
+    def test_close_in_parent_before_child_send(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int, 4)\n\tclose(ch)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}"
+        )
+        assert result.reports
+        assert result.reports[0].category == "send-on-closed"
+
+
+class TestDoubleClose:
+    def test_race_detected(self):
+        result = detect(
+            "func main() {\n\tdone := make(chan struct{})\n"
+            "\tgo func() {\n\t\tclose(done)\n\t}()\n\tclose(done)\n}"
+        )
+        assert [r.category for r in result.reports] == ["double-close"]
+
+    def test_single_close_safe(self):
+        result = detect(
+            "func main() {\n\tdone := make(chan struct{})\n"
+            "\tgo func() {\n\t\tclose(done)\n\t}()\n\t<-done\n}"
+        )
+        assert result.reports == []
+
+    def test_channel_without_close_ignored(self):
+        result = detect(
+            "func main() {\n\tch := make(chan int, 1)\n\tch <- 1\n\t<-ch\n}"
+        )
+        assert result.reports == []
+
+
+class TestRuntimeAgreement:
+    def test_static_verdicts_match_panic_oracle(self):
+        cases = [
+            (
+                "func main() {\n\tch := make(chan int, 1)\n"
+                "\tgo func() {\n\t\tch <- 1\n\t}()\n\tclose(ch)\n}",
+                True,
+            ),
+            (
+                "func main() {\n\tch := make(chan int)\n"
+                "\tgo func() {\n\t\tch <- 1\n\t}()\n\t<-ch\n\tclose(ch)\n}",
+                False,
+            ),
+        ]
+        for source, expect in cases:
+            program = build(source)
+            static = bool(detect_nonblocking(program).reports)
+            runs = explore_schedules(program, seeds=30, max_steps=5000)
+            dynamic = any(r.panicked for r in runs)
+            assert static == expect
+            assert dynamic == expect

@@ -1,0 +1,269 @@
+"""Unit tests for the MiniGo parser."""
+
+import pytest
+
+from repro.golang import ast_nodes as ast
+from repro.golang.parser import ParseError, parse_file
+
+
+def parse(body: str) -> ast.File:
+    return parse_file("package main\n" + body)
+
+
+def first_func(body: str) -> ast.FuncDecl:
+    return parse(body).funcs[0]
+
+
+class TestDeclarations:
+    def test_package_clause(self):
+        assert parse_file("package demo").package == "demo"
+
+    def test_import_single_skipped(self):
+        file = parse_file('package main\nimport "sync"\nfunc f() {\n}')
+        assert file.funcs[0].name == "f"
+
+    def test_import_block_skipped(self):
+        file = parse_file('package main\nimport (\n"sync"\n"time"\n)\nfunc f() {\n}')
+        assert file.funcs[0].name == "f"
+
+    def test_func_with_params_and_result(self):
+        fn = first_func("func add(a int, b int) int {\n\treturn a + b\n}")
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert len(fn.results) == 1
+
+    def test_grouped_params_share_type(self):
+        fn = first_func("func add(a, b int) int {\n\treturn a\n}")
+        assert isinstance(fn.params[0].type, ast.NamedType)
+        assert fn.params[0].type.name == "int"
+        assert fn.params[1].type.name == "int"
+
+    def test_multiple_results(self):
+        fn = first_func("func two() (int, int) {\n\treturn 1, 2\n}")
+        assert len(fn.results) == 2
+
+    def test_method_receiver(self):
+        fn = first_func("func (s *server) run() {\n}")
+        assert fn.receiver is not None
+        assert fn.full_name == "server.run"
+
+    def test_struct_declaration(self):
+        file = parse("type box struct {\n\tmu sync.Mutex\n\tn int\n}")
+        decl = file.structs[0]
+        assert decl.name == "box"
+        assert [f.name for f in decl.fields] == ["mu", "n"]
+        assert decl.fields[0].type.name == "mutex"
+
+    def test_qualified_types_normalized(self):
+        fn = first_func("func f(t *testing.T, ctx context.Context, wg *sync.WaitGroup) {\n}")
+        names = []
+        for param in fn.params:
+            typ = param.type
+            if isinstance(typ, ast.PointerType):
+                typ = typ.elem
+            names.append(typ.name)
+        assert names == ["testing", "context", "waitgroup"]
+
+
+class TestStatements:
+    def test_short_decl(self):
+        fn = first_func("func f() {\n\tx := 1\n}")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.AssignStmt)
+        assert stmt.is_decl
+
+    def test_multi_assign_from_call(self):
+        fn = first_func("func f() {\n\ta, b := g()\n}")
+        stmt = fn.body.stmts[0]
+        assert len(stmt.lhs) == 2
+
+    def test_recv_with_ok(self):
+        fn = first_func("func f(ch chan int) {\n\tv, ok := <-ch\n\tprintln(v, ok)\n}")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt.rhs[0], ast.RecvExpr)
+
+    def test_send_statement(self):
+        fn = first_func("func f(ch chan int) {\n\tch <- 42\n}")
+        assert isinstance(fn.body.stmts[0], ast.SendStmt)
+
+    def test_var_decl_with_type(self):
+        fn = first_func("func f() {\n\tvar mu sync.Mutex\n\tmu.Lock()\n}")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.type.name == "mutex"
+
+    def test_if_else_chain(self):
+        fn = first_func("func f(x int) {\n\tif x > 0 {\n\t} else if x < 0 {\n\t} else {\n\t}\n}")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt.orelse, ast.IfStmt)
+        assert isinstance(stmt.orelse.orelse, ast.Block)
+
+    def test_infinite_for(self):
+        fn = first_func("func f() {\n\tfor {\n\t\tbreak\n\t}\n}")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert stmt.cond is None
+
+    def test_while_style_for(self):
+        fn = first_func("func f(n int) {\n\tfor n > 0 {\n\t\tn--\n\t}\n}")
+        assert isinstance(fn.body.stmts[0].cond, ast.BinaryExpr)
+
+    def test_three_clause_for(self):
+        fn = first_func("func f() {\n\tfor i := 0; i < 10; i++ {\n\t}\n}")
+        stmt = fn.body.stmts[0]
+        assert stmt.init is not None
+        assert stmt.post is not None
+
+    def test_range_over_channel(self):
+        fn = first_func("func f(ch chan int) {\n\tfor v := range ch {\n\t\tprintln(v)\n\t}\n}")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.RangeStmt)
+        assert stmt.var == "v"
+
+    def test_go_statement(self):
+        fn = first_func("func f() {\n\tgo func() {\n\t}()\n}")
+        assert isinstance(fn.body.stmts[0], ast.GoStmt)
+
+    def test_go_requires_call(self):
+        with pytest.raises(ParseError):
+            parse("func f() {\n\tgo 42\n}")
+
+    def test_defer_close(self):
+        fn = first_func("func f(ch chan int) {\n\tdefer close(ch)\n}")
+        assert isinstance(fn.body.stmts[0], ast.DeferStmt)
+
+    def test_return_values(self):
+        fn = first_func("func f() (int, int) {\n\treturn 1, 2\n}")
+        assert len(fn.body.stmts[0].values) == 2
+
+    def test_inc_dec(self):
+        fn = first_func("func f(x int) {\n\tx++\n\tx--\n}")
+        assert fn.body.stmts[0].op == "++"
+        assert fn.body.stmts[1].op == "--"
+
+
+class TestSelect:
+    def test_select_cases(self):
+        fn = first_func(
+            "func f(a chan int, b chan int) {\n"
+            "\tselect {\n"
+            "\tcase v := <-a:\n"
+            "\t\tprintln(v)\n"
+            "\tcase b <- 1:\n"
+            "\tdefault:\n"
+            "\t}\n"
+            "}"
+        )
+        select = fn.body.stmts[0]
+        assert isinstance(select, ast.SelectStmt)
+        assert len(select.cases) == 3
+        assert select.cases[2].comm is None  # default
+
+    def test_select_recv_two_values(self):
+        fn = first_func(
+            "func f(a chan int) {\n\tselect {\n\tcase v, ok := <-a:\n\t\tprintln(v, ok)\n\t}\n}"
+        )
+        comm = fn.body.stmts[0].cases[0].comm
+        assert isinstance(comm, ast.AssignStmt)
+        assert len(comm.lhs) == 2
+
+
+class TestExpressions:
+    def test_precedence(self):
+        fn = first_func("func f() int {\n\treturn 1 + 2*3\n}")
+        expr = fn.body.stmts[0].values[0]
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_logical_operators(self):
+        fn = first_func("func f(a bool, b bool) bool {\n\treturn a && b || !a\n}")
+        expr = fn.body.stmts[0].values[0]
+        assert expr.op == "||"
+
+    def test_unary_recv_expr(self):
+        fn = first_func("func f(ch chan int) int {\n\treturn <-ch\n}")
+        assert isinstance(fn.body.stmts[0].values[0], ast.RecvExpr)
+
+    def test_make_chan(self):
+        fn = first_func("func f() {\n\tch := make(chan int)\n\tprintln(ch)\n}")
+        make = fn.body.stmts[0].rhs[0]
+        assert isinstance(make, ast.MakeExpr)
+        assert isinstance(make.type, ast.ChanType)
+        assert make.size is None
+
+    def test_make_buffered_chan(self):
+        fn = first_func("func f() {\n\tch := make(chan int, 4)\n\tprintln(ch)\n}")
+        assert fn.body.stmts[0].rhs[0].size.value == 4
+
+    def test_make_slice(self):
+        fn = first_func("func f() {\n\ts := make([]chan int, 2)\n\tprintln(s)\n}")
+        assert isinstance(fn.body.stmts[0].rhs[0].type, ast.SliceType)
+
+    def test_unit_literal(self):
+        fn = first_func("func f(ch chan struct{}) {\n\tch <- struct{}{}\n}")
+        assert isinstance(fn.body.stmts[0].value, ast.UnitLit)
+
+    def test_composite_literal_empty(self):
+        fn = first_func("func f() {\n\ts := server{}\n\tprintln(s)\n}")
+        assert isinstance(fn.body.stmts[0].rhs[0], ast.CompositeLit)
+
+    def test_composite_literal_fields(self):
+        fn = first_func("func f() {\n\ts := point{x: 1, y: 2}\n\tprintln(s)\n}")
+        lit = fn.body.stmts[0].rhs[0]
+        assert [name for name, _ in lit.fields] == ["x", "y"]
+
+    def test_composite_not_confused_with_if_block(self):
+        fn = first_func("func f(x int) {\n\tif x == y {\n\t\tprintln(x)\n\t}\n}")
+        assert isinstance(fn.body.stmts[0], ast.IfStmt)
+
+    def test_selector_and_call_chain(self):
+        fn = first_func("func f(s *server) {\n\ts.mu.Lock()\n}")
+        call = fn.body.stmts[0].expr
+        assert isinstance(call, ast.CallExpr)
+        assert call.func.name == "Lock"
+
+    def test_index_expression(self):
+        fn = first_func("func f(s []chan int) {\n\tc := s[0]\n\tprintln(c)\n}")
+        assert isinstance(fn.body.stmts[0].rhs[0], ast.IndexExpr)
+
+    def test_func_literal_immediately_invoked(self):
+        fn = first_func("func f() {\n\tfunc() {\n\t\tprintln(1)\n\t}()\n}")
+        call = fn.body.stmts[0].expr
+        assert isinstance(call.func, ast.FuncLit)
+
+    def test_nil_literal(self):
+        fn = first_func("func f(x int) {\n\tif x == nil {\n\t}\n}")
+        assert isinstance(fn.body.stmts[0].cond.right, ast.NilLit)
+
+
+class TestErrors:
+    def test_missing_package_ok(self):
+        # package clause is optional in MiniGo for snippets
+        file = parse_file("func f() {\n}")
+        assert file.funcs[0].name == "f"
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("func f() {\n\tx := 1\n")
+
+    def test_bad_toplevel(self):
+        with pytest.raises(ParseError):
+            parse("x := 1")
+
+    def test_assignment_arity_reported_at_build(self):
+        # the parser allows it; arity is a lowering-time error
+        file = parse("func f() {\n\ta, b := 1\n}")
+        assert file.funcs[0].name == "f"
+
+
+class TestFigures:
+    def test_figure1_parses(self, figure1_source):
+        file = parse_file(figure1_source)
+        assert {"Exec", "StdCopy", "main"} <= {f.name for f in file.funcs}
+
+    def test_figure3_parses(self, figure3_source):
+        file = parse_file(figure3_source)
+        assert "TestRWDialer" in {f.name for f in file.funcs}
+
+    def test_figure4_parses(self, figure4_source):
+        file = parse_file(figure4_source)
+        assert "Interactive" in {f.name for f in file.funcs}

@@ -1,0 +1,205 @@
+"""Tests for per-goroutine path enumeration and combination filtering."""
+
+from repro.analysis.alias import run_alias_analysis
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.dependency import build_dependency_graph, compute_pset
+from repro.analysis.primitives import find_primitives
+from repro.analysis.scope import compute_all_scopes
+from repro.detector.paths import (
+    BranchEvent,
+    OpEvent,
+    PathEnumerator,
+    SelectChoice,
+    SpawnEvent,
+    conditions_satisfiable,
+    enumerate_combinations,
+)
+from tests.conftest import build
+
+
+def make_enumerator(source: str, channel_label: str = None):
+    prog = build(source)
+    cg = build_call_graph(prog)
+    alias = run_alias_analysis(prog, cg)
+    pmap = find_primitives(prog, cg, alias)
+    scopes = compute_all_scopes(pmap, cg)
+    deps = build_dependency_graph(prog, cg, pmap)
+    channels = [p for p in pmap if p.site.kind == "chan"]
+    if channel_label is not None:
+        channels = [p for p in channels if p.site.label.startswith(channel_label)]
+    chan = channels[0]
+    pset = compute_pset(chan, deps, scopes)
+    scope = scopes[chan]
+    enumerator = PathEnumerator(prog, cg, alias, pmap, pset, scope.functions)
+    return enumerator, scope, chan
+
+
+class TestEnumeration:
+    def test_straight_line_single_path(self):
+        enumerator, scope, _ = make_enumerator(
+            "func f() {\n\tch := make(chan int, 1)\n\tch <- 1\n\t<-ch\n}"
+        )
+        paths = enumerator.enumerate("f")
+        assert len(paths) == 1
+        assert [e.kind for e in paths[0].op_events()] == ["send", "recv"]
+
+    def test_branch_doubles_paths(self):
+        enumerator, _, _ = make_enumerator(
+            "func f(x int) {\n\tch := make(chan int, 1)\n"
+            "\tif x > 0 {\n\t\tch <- 1\n\t}\n\t<-ch\n}"
+        )
+        paths = enumerator.enumerate("f")
+        assert len(paths) == 2
+        op_counts = sorted(len(p.op_events()) for p in paths)
+        assert op_counts == [1, 2]
+
+    def test_loop_unrolled_at_most_twice(self):
+        enumerator, _, _ = make_enumerator(
+            "func f(n int) {\n\tch := make(chan int, 9)\n"
+            "\tfor i := 0; i < n; i++ {\n\t\tch <- i\n\t}\n}"
+        )
+        paths = enumerator.enumerate("f")
+        send_counts = {len(p.op_events()) for p in paths}
+        assert send_counts <= {0, 1, 2}
+        assert 2 in send_counts
+
+    def test_infinite_loop_paths_truncated(self):
+        enumerator, _, _ = make_enumerator(
+            "func f() {\n\tch := make(chan int)\n\tfor {\n\t\tch <- 1\n\t}\n}"
+        )
+        paths = enumerator.enumerate("f")
+        assert paths  # truncated paths are still emitted
+        assert all(len(p.op_events()) <= 2 for p in paths)
+
+    def test_irrelevant_callee_skipped(self):
+        enumerator, _, _ = make_enumerator(
+            "func noise() {\n\tprintln(1)\n}\n"
+            "func f() {\n\tch := make(chan int, 1)\n\tnoise()\n\tch <- 1\n}"
+        )
+        paths = enumerator.enumerate("f")
+        assert len(paths) == 1
+
+    def test_relevant_callee_inlined(self):
+        enumerator, _, _ = make_enumerator(
+            "func helper(c chan int) {\n\tc <- 1\n}\n"
+            "func f() {\n\tch := make(chan int, 1)\n\thelper(ch)\n\t<-ch\n}"
+        )
+        paths = enumerator.enumerate("f")
+        assert [e.kind for e in paths[0].op_events()] == ["send", "recv"]
+
+    def test_spawn_event_recorded(self):
+        enumerator, _, _ = make_enumerator(
+            "func f() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n\t<-ch\n}"
+        )
+        paths = enumerator.enumerate("f")
+        assert any(isinstance(e, SpawnEvent) for e in paths[0].events)
+
+    def test_select_branches_enumerated(self):
+        enumerator, _, _ = make_enumerator(
+            "func f(x chan int) {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 1\n\t}()\n"
+            "\tselect {\n\tcase <-ch:\n\tdefault:\n\t}\n}"
+        )
+        paths = enumerator.enumerate("f")
+        chosens = set()
+        for path in paths:
+            for event in path.events:
+                if isinstance(event, SelectChoice):
+                    chosens.add("default" if event.chosen == "default" else "case")
+        assert chosens == {"default", "case"}
+
+    def test_deferred_ops_appended_at_return(self):
+        enumerator, _, _ = make_enumerator(
+            "func f() {\n\tch := make(chan int, 1)\n\tdefer close(ch)\n\tch <- 1\n}"
+        )
+        paths = enumerator.enumerate("f")
+        kinds = [e.kind for e in paths[0].op_events()]
+        assert kinds == ["send", "close"]
+
+    def test_infeasible_single_path_filtered(self):
+        enumerator, _, _ = make_enumerator(
+            "func f(x int) {\n\tch := make(chan int, 2)\n"
+            "\tif x > 5 {\n\t\tch <- 1\n\t}\n\tif x <= 5 {\n\t\tch <- 2\n\t}\n}"
+        )
+        paths = enumerator.enumerate("f")
+        # the both-true and both-false paths contradict over read-only x
+        assert len(paths) == 2
+        assert all(len(p.op_events()) == 1 for p in paths)
+
+
+class TestConditionSatisfiability:
+    def _cond(self, var, op, const, taken, read_only=True):
+        return BranchEvent(var=var, op=op, const=const, taken=taken, read_only=read_only, line=0)
+
+    def test_contradiction_detected(self):
+        conds = [self._cond("x", ">", 5, True), self._cond("x", "<=", 5, True)]
+        assert not conditions_satisfiable(conds)
+
+    def test_compatible_ranges(self):
+        conds = [self._cond("x", ">", 2, True), self._cond("x", "<", 10, True)]
+        assert conditions_satisfiable(conds)
+
+    def test_negation_via_taken_flag(self):
+        conds = [self._cond("x", ">", 5, False), self._cond("x", ">", 5, True)]
+        assert not conditions_satisfiable(conds)
+
+    def test_equality_conflict(self):
+        conds = [self._cond("x", "==", 3, True), self._cond("x", "==", 4, True)]
+        assert not conditions_satisfiable(conds)
+
+    def test_equality_vs_inequality(self):
+        conds = [self._cond("x", "==", 3, True), self._cond("x", "!=", 3, True)]
+        assert not conditions_satisfiable(conds)
+
+    def test_bool_conflict(self):
+        conds = [self._cond("b", "==", True, True), self._cond("b", "==", True, False)]
+        assert not conditions_satisfiable(conds)
+
+    def test_mutable_vars_ignored(self):
+        conds = [
+            self._cond("x", ">", 5, True, read_only=False),
+            self._cond("x", "<=", 5, True, read_only=False),
+        ]
+        assert conditions_satisfiable(conds)
+
+    def test_different_vars_independent(self):
+        conds = [self._cond("x", ">", 5, True), self._cond("y", "<=", 5, True)]
+        assert conditions_satisfiable(conds)
+
+    def test_pinned_value_outside_range(self):
+        conds = [self._cond("x", "==", 3, True), self._cond("x", ">", 10, True)]
+        assert not conditions_satisfiable(conds)
+
+
+class TestCombinations:
+    def test_figure1_has_three_combinations(self):
+        enumerator, scope, _ = make_enumerator(
+            "func StdCopy() int {\n\treturn 0\n}\n"
+            "func Exec(ctx context.Context) int {\n"
+            "\toutDone := make(chan int)\n"
+            "\tgo func() {\n\t\terr := StdCopy()\n\t\toutDone <- err\n\t}()\n"
+            "\tselect {\n\tcase err := <-outDone:\n\t\tif err != 0 {\n\t\t\treturn err\n\t\t}\n"
+            "\tcase <-ctx.Done():\n\t\treturn 1\n\t}\n\treturn 0\n}"
+        )
+        combos = enumerate_combinations(enumerator, scope.lca)
+        # the paper's running example: exactly three path combinations
+        assert len(combos) == 3
+        assert all(len(c.goroutines) == 2 for c in combos)
+
+    def test_no_blocking_ops_filtered(self):
+        enumerator, scope, _ = make_enumerator(
+            "func f() {\n\tch := make(chan int, 5)\n\tch <- 1\n}"
+        )
+        combos = enumerate_combinations(enumerator, scope.lca)
+        # buffered send can still block in theory (send is a blocking kind)
+        assert all(c.has_blocking_op() for c in combos)
+
+    def test_child_paths_expand(self):
+        enumerator, scope, _ = make_enumerator(
+            "func f(x int) {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tif x > 0 {\n\t\t\tch <- 1\n\t\t} else {\n\t\t\tch <- 2\n\t\t}\n\t}()\n"
+            "\t<-ch\n}"
+        )
+        combos = enumerate_combinations(enumerator, scope.lca)
+        assert len(combos) == 2

@@ -1,0 +1,96 @@
+"""Tests for the automated patch-validation framework (§6 future work)."""
+
+import pytest
+
+from repro.api import Project
+from repro.corpus.snippets import ALL_SNIPPETS
+from repro.fixer.patch import LineEdit, Patch
+from repro.fixer.validate import validate_patch
+
+
+def _fix_for(source: str, filename: str = "v.go"):
+    project = Project.from_source(source, filename)
+    bugs = project.detect().bmoc.bmoc_channel_bugs()
+    assert bugs
+    return project, project.fix(bugs[0])
+
+
+class TestCorrectPatches:
+    @pytest.mark.parametrize("sn", ALL_SNIPPETS, ids=lambda s: s.name)
+    def test_figure_patches_validate(self, sn):
+        project, fix = _fix_for(sn.source, sn.name + ".go")
+        entry = "main" if "main" in project.program.functions else sn.entry
+        validation = validate_patch(sn.source, fix, entry=entry, seeds=15)
+        assert validation.correct, validation.render()
+        assert validation.static_clean
+        assert validation.dynamic_clean
+        assert validation.semantics_preserved
+
+    def test_render_mentions_verdict(self):
+        sn = ALL_SNIPPETS[0]
+        project, fix = _fix_for(sn.source)
+        validation = validate_patch(sn.source, fix, entry="main", seeds=5)
+        assert "CORRECT" in validation.render()
+
+
+class TestBrokenPatchesRejected:
+    SOURCE = (
+        "package main\n\nfunc main() {\n\tch := make(chan int)\n"
+        "\tgo func() {\n\t\tch <- 1\n\t}()\n\tprintln(0)\n}\n"
+    )
+
+    def test_noop_patch_rejected_statically(self):
+        project, fix = _fix_for(self.SOURCE)
+        # sabotage: replace the real patch with a comment-only edit
+        fix.patch = Patch(
+            strategy="buffer",
+            description="sabotaged",
+            original=self.SOURCE,
+            edits=[LineEdit(after=1, new_lines=["// no actual change"])],
+        )
+        validation = validate_patch(self.SOURCE, fix, entry="main", seeds=10)
+        assert not validation.correct
+        assert not validation.static_clean
+        assert validation.patched_leaks > 0
+
+    def test_semantics_breaking_patch_rejected(self):
+        source = (
+            "package main\n\nfunc main() {\n\tch := make(chan int)\n"
+            "\tgo func() {\n\t\tch <- 41\n\t}()\n\tprintln(<-ch + 1)\n}\n"
+        )
+        project = Project.from_source(source)
+        # a fake "fix" that changes the observable output
+        from repro.detector.reporting import BugReport
+
+        fake_report = BugReport(category="bmoc-chan", primitive=None)
+        from repro.fixer.dispatcher import FixResult
+
+        fix = FixResult(report=fake_report)
+        fix.patch = Patch(
+            strategy="buffer",
+            description="breaks output",
+            original=source,
+            edits=[LineEdit(line=8, new_lines=["\tprintln(<-ch + 2)"])],
+        )
+        validation = validate_patch(source, fix, entry="main", seeds=10)
+        assert not validation.semantics_preserved
+        assert not validation.correct
+
+    def test_deadlock_introducing_patch_rejected(self):
+        source = (
+            "package main\n\nfunc main() {\n\tch := make(chan int, 1)\n"
+            "\tch <- 1\n\tprintln(<-ch)\n}\n"
+        )
+        from repro.detector.reporting import BugReport
+        from repro.fixer.dispatcher import FixResult
+
+        fix = FixResult(report=BugReport(category="bmoc-chan", primitive=None))
+        fix.patch = Patch(
+            strategy="buffer",
+            description="shrinks the buffer",
+            original=source,
+            edits=[LineEdit(line=4, new_lines=["\tch := make(chan int)"])],
+        )
+        validation = validate_patch(source, fix, entry="main", seeds=5)
+        assert validation.patched_leaks > 0
+        assert not validation.correct
