@@ -5,7 +5,10 @@ The interpreter's seeded nondeterministic scheduler is the reproduction's
 testbed — the same role as the paper's unit-test-plus-random-sleep
 validation (§5.1). This example writes a small producer/consumer program
 with a schedule-dependent leak and maps out which seeds trigger it, then
-confirms the detector flags the same line statically.
+switches to the systematic explorer: instead of sampling schedules it
+*enumerates* them (pruning commuting orders), proves how many distinct
+outcomes exist, and replays a leaking schedule deterministically from its
+recorded choice trace. Finally the detector flags the same line statically.
 
 Run:  python examples/schedule_explorer.py
 """
@@ -57,6 +60,17 @@ def main() -> None:
         print(f"example leak (seed {sample.seed}): goroutine {leak.gid} in "
               f"{leak.function} parked forever at a {leak.blocked_kind} on line "
               f"{leak.blocked_line}")
+
+    print("\nexhaustive mode: enumerating every schedule (modulo commutation)...")
+    exploration = project.explore(entry="main")
+    print(exploration.render())
+    status = "a PROOF of the outcome set" if exploration.complete else "bounded"
+    print(f"this search is {status}: random sampling above was only evidence.")
+    if exploration.leaking():
+        witness = exploration.leaking()[0]
+        replayed = project.replay(witness.choice_trace)
+        print(f"replaying the {len(witness.choice_trace)}-choice leaking trace: "
+              f"{'same leak reproduced' if replayed.blocked_forever else 'DIVERGED'}")
 
     print("\nGCatch on the same program:")
     for bug in project.detect().bmoc.bmoc_channel_bugs():

@@ -23,7 +23,14 @@ from typing import Any, List, Optional
 from repro.detector.gcatch import GCatchResult, run_gcatch
 from repro.detector.reporting import BugReport
 from repro.fixer.dispatcher import FixResult, GFix, GFixSummary
-from repro.runtime.scheduler import ExecutionResult, explore_schedules, run_program
+from repro.runtime.choices import Choice
+from repro.runtime.explorer import Exploration, explore
+from repro.runtime.scheduler import (
+    ExecutionResult,
+    explore_schedules,
+    replay_trace,
+    run_program,
+)
 from repro.ssa import ir
 from repro.ssa.builder import build_program
 
@@ -95,6 +102,34 @@ class Project:
         return explore_schedules(
             self.program, entry=entry, seeds=seeds, max_steps=max_steps, args=args
         )
+
+    def explore(
+        self,
+        entry: str = "main",
+        max_runs: int = 512,
+        max_steps: int = 20_000,
+        preemption_bound: Optional[int] = None,
+        args: Optional[List[Any]] = None,
+    ) -> Exploration:
+        """Systematically enumerate schedules (the explorer's dynamic oracle)."""
+        return explore(
+            self.program,
+            entry=entry,
+            max_runs=max_runs,
+            max_steps=max_steps,
+            preemption_bound=preemption_bound,
+            args=args,
+        )
+
+    def replay(
+        self,
+        trace: List[Choice],
+        entry: str = "main",
+        max_steps: int = 100_000,
+        args: Optional[List[Any]] = None,
+    ) -> ExecutionResult:
+        """Deterministically re-run one recorded choice trace."""
+        return replay_trace(self.program, trace, entry=entry, max_steps=max_steps, args=args)
 
 
 def detect_and_fix(source: str, filename: str = "<minigo>") -> GFixSummary:

@@ -5,6 +5,10 @@ Commands mirror the paper's tooling:
 * ``detect FILE``     — run GCatch (BMOC + traditional checkers);
 * ``fix FILE``        — run GCatch, then GFix; print unified diffs;
 * ``run FILE``        — execute under the seeded scheduler, report leaks;
+* ``explore FILE``    — systematically enumerate schedules, report every
+  distinct outcome (the dynamic oracle as a checker);
+* ``diffcheck``       — diff GCatch's static verdicts against the
+  explorer's dynamic verdicts over the 49-bug corpus;
 * ``nonblocking FILE``— the §6 extension (send-on-closed / double-close);
 * ``table1``          — regenerate Table 1 over the synthetic corpus;
 * ``coverage``        — the 49-bug coverage study.
@@ -90,6 +94,32 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    project = _load(args.file)
+    exploration = project.explore(
+        entry=args.entry,
+        max_runs=args.max_runs,
+        max_steps=args.max_steps,
+        preemption_bound=args.preemption_bound,
+    )
+    print(exploration.render())
+    if args.replay and exploration.leaking():
+        leak = exploration.leaking()[0]
+        replayed = project.replay(leak.choice_trace, entry=args.entry)
+        same = replayed.blocked_forever == leak.blocked_forever
+        print(f"replayed first leaking trace ({len(leak.choice_trace)} choices): "
+              f"{'reproduced' if same else 'DIVERGED'}")
+    return 1 if exploration.any_leak else 0
+
+
+def cmd_diffcheck(args: argparse.Namespace) -> int:
+    from repro.diffcheck import run_diffcheck
+
+    report = run_diffcheck(max_runs=args.max_runs, max_steps=args.max_steps)
+    print(report.render())
+    return 1 if report.unexplained() else 0
+
+
 def cmd_nonblocking(args: argparse.Namespace) -> int:
     project = _load(args.file)
     result = detect_nonblocking(project.program)
@@ -151,6 +181,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=10)
     p.add_argument("--max-steps", type=int, default=100_000)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("explore", help="systematically enumerate schedules")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--max-runs", type=int, default=512)
+    p.add_argument("--max-steps", type=int, default=20_000)
+    p.add_argument("--preemption-bound", type=int, default=None)
+    p.add_argument("--replay", action="store_true",
+                   help="re-run the first leaking trace to confirm it reproduces")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("diffcheck", help="static vs dynamic differential over the bug corpus")
+    p.add_argument("--max-runs", type=int, default=512)
+    p.add_argument("--max-steps", type=int, default=20_000)
+    p.set_defaults(func=cmd_diffcheck)
 
     p = sub.add_parser("nonblocking", help="send-on-closed / double-close detection")
     p.add_argument("file")

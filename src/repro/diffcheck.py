@@ -1,0 +1,186 @@
+"""Static↔dynamic differential testing of the detector.
+
+GCatch's BMOC detector (the static oracle) and the systematic schedule
+explorer (the dynamic oracle) both claim to know whether a program can
+leak a goroutine. Neither is trusted alone: the static analysis has
+documented soundness holes (the corpus ``Miss*`` cases), and the dynamic
+search is bounded. Running both over every program of the 49-bug corpus
+and *diffing their verdicts* turns each one into a test of the other:
+
+* **agreement** — both say "bug" (a leaking schedule was exhibited for a
+  static report) or both say "clean" (no report, and the exhaustive
+  search proved leak-freedom);
+* **static-only** — GCatch reports a bug but no schedule within the bound
+  leaks: a false-positive candidate for the detector (or an under-explored
+  program, when the search was truncated);
+* **dynamic-only** — the explorer exhibits a leaking schedule GCatch
+  missed: a false-negative candidate. For corpus ``Miss*`` cases these are
+  *expected* and each carries the corpus' documented ``miss_reason``;
+  a dynamic-only leak with no such explanation is a detector regression;
+* **divergence** — the program never terminates within the step budget
+  (e.g. a livelock guarded by a dynamic value), so the dynamic oracle
+  cannot issue a verdict either way.
+
+``run_diffcheck`` sweeps the corpus and classifies every case;
+:class:`DifferentialReport.unexplained` is the regression signal the
+benchmark suite asserts empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.corpus.bugset import BugCase, build_bug_set
+from repro.detector.gcatch import run_gcatch
+from repro.runtime.explorer import Exploration, explore
+from repro.ssa.builder import build_program
+
+AGREE_BUG = "agree-bug"
+AGREE_CLEAN = "agree-clean"
+STATIC_ONLY = "static-only"
+DYNAMIC_ONLY = "dynamic-only"
+DIVERGENCE = "divergence"
+
+
+@dataclass
+class CaseVerdict:
+    """Both oracles' verdicts on one corpus program, reconciled."""
+
+    case_id: str
+    static_bug: bool
+    static_reports: int
+    dynamic: str  # 'leak' | 'clean' | 'divergence'
+    classification: str
+    explained: bool
+    explanation: str = ""
+    runs: int = 0
+    complete: bool = False
+    distinct_outcomes: int = 0
+    leak_schedules: int = 0
+
+    def row(self) -> List[str]:
+        return [
+            self.case_id,
+            "bug" if self.static_bug else "clean",
+            self.dynamic,
+            f"{self.runs}{'' if self.complete else '+'}",
+            str(self.distinct_outcomes),
+            self.classification,
+            self.explanation or ("-" if self.explained else "UNEXPLAINED"),
+        ]
+
+
+@dataclass
+class DifferentialReport:
+    """Corpus-wide agreement between the static and dynamic oracles."""
+
+    verdicts: List[CaseVerdict] = field(default_factory=list)
+    max_runs: int = 0
+    max_steps: int = 0
+
+    def by_class(self, classification: str) -> List[CaseVerdict]:
+        return [v for v in self.verdicts if v.classification == classification]
+
+    def unexplained(self) -> List[CaseVerdict]:
+        """Disagreements with no documented cause — the regression signal."""
+        return [
+            v
+            for v in self.verdicts
+            if v.classification in (STATIC_ONLY, DYNAMIC_ONLY, DIVERGENCE) and not v.explained
+        ]
+
+    @property
+    def agreement_rate(self) -> float:
+        if not self.verdicts:
+            return 1.0
+        agreed = len(self.by_class(AGREE_BUG)) + len(self.by_class(AGREE_CLEAN))
+        return agreed / len(self.verdicts)
+
+    def render(self) -> str:
+        from repro.report.differential import render_differential
+
+        return render_differential(self)
+
+
+def diff_case(
+    case: BugCase,
+    max_runs: int = 512,
+    max_steps: int = 20_000,
+) -> CaseVerdict:
+    """Run both oracles on one corpus case and reconcile their verdicts."""
+    program = build_program(case.source, case.case_id + ".go")
+    static = run_gcatch(program)
+    static_bug = bool(static.bmoc.reports)
+    exploration = explore(
+        program,
+        entry=case.driver or "main",
+        max_runs=max_runs,
+        max_steps=max_steps,
+    )
+    return _classify(case, static_bug, len(static.bmoc.reports), exploration)
+
+
+def _classify(
+    case: BugCase,
+    static_bug: bool,
+    static_reports: int,
+    exploration: Exploration,
+) -> CaseVerdict:
+    if exploration.any_leak:
+        dynamic = "leak"
+    elif exploration.step_limited_runs:
+        dynamic = "divergence"
+    else:
+        dynamic = "clean"
+
+    miss = case.miss_reason or ""
+    if dynamic == "leak":
+        if static_bug:
+            classification, explained, explanation = AGREE_BUG, True, ""
+        else:
+            # a leak the static analysis missed: fine iff the corpus
+            # documents *why* this shape is outside BMOC's model
+            classification = DYNAMIC_ONLY
+            explained = bool(miss)
+            explanation = miss
+    elif dynamic == "divergence":
+        classification = DIVERGENCE
+        explained = bool(miss)
+        explanation = miss
+    else:  # dynamically clean
+        if static_bug:
+            classification = STATIC_ONLY
+            if exploration.complete:
+                explained, explanation = False, "exhaustive search found no leak"
+            else:
+                # bounded search proves nothing; flag it but name the bound
+                explained, explanation = True, "search truncated by bound"
+        else:
+            classification, explained, explanation = AGREE_CLEAN, True, ""
+
+    return CaseVerdict(
+        case_id=case.case_id,
+        static_bug=static_bug,
+        static_reports=static_reports,
+        dynamic=dynamic,
+        classification=classification,
+        explained=explained,
+        explanation=explanation,
+        runs=exploration.runs,
+        complete=exploration.complete,
+        distinct_outcomes=len(exploration.outcomes),
+        leak_schedules=len(exploration.leaking()),
+    )
+
+
+def run_diffcheck(
+    cases: Optional[Sequence[BugCase]] = None,
+    max_runs: int = 512,
+    max_steps: int = 20_000,
+) -> DifferentialReport:
+    """Diff the two oracles over the whole corpus (or a subset)."""
+    report = DifferentialReport(max_runs=max_runs, max_steps=max_steps)
+    for case in cases if cases is not None else build_bug_set():
+        report.verdicts.append(diff_case(case, max_runs=max_runs, max_steps=max_steps))
+    return report

@@ -8,7 +8,12 @@ the MiniGo substrate with three checks per patch:
 1. **bug elimination (static)** — re-running GCatch on the patched program
    produces no report on the patched channel;
 2. **bug elimination (dynamic)** — no schedule of the patched program
-   leaks a goroutine or deadlocks (the paper's sleep-injection check);
+   leaks a goroutine or deadlocks. This check is *exhaustive* by default:
+   the systematic explorer enumerates every interleaving (modulo
+   commutation of independent steps), so a pass is a proof within the
+   program's semantics, not a sampling claim. When the schedule space
+   exceeds the exploration bound (e.g. unbounded loops), validation falls
+   back to the paper's seeded random sampling and logs the downgrade;
 3. **semantics preservation** — every observable behaviour (println trace,
    panic status, test verdict) the *original* program exhibits on cleanly
    completing schedules is still achievable by the patched program; new
@@ -18,13 +23,17 @@ the MiniGo substrate with three checks per patch:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List
 
 from repro.detector.bmoc import detect_bmoc
 from repro.fixer.dispatcher import FixResult
+from repro.runtime.explorer import explore
 from repro.runtime.scheduler import run_program
 from repro.ssa.builder import build_program
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -36,8 +45,10 @@ class PatchValidation:
     schedules_run: int = 0
     patched_leaks: int = 0
     patched_panics: int = 0
-    semantics_mismatches: List[int] = field(default_factory=list)  # seeds
+    semantics_mismatches: List[int] = field(default_factory=list)  # seeds / outcome ids
     comparable_schedules: int = 0
+    exhaustive: bool = False  # dynamic verdicts cover the whole schedule space
+    fallback: bool = False  # bound exceeded: reverted to seeded sampling
 
     @property
     def dynamic_clean(self) -> bool:
@@ -53,8 +64,9 @@ class PatchValidation:
 
     def render(self) -> str:
         verdict = "CORRECT" if self.correct else "REJECTED"
+        mode = "exhaustive" if self.exhaustive else "sampled"
         parts = [
-            f"{verdict} (entry {self.entry}, {self.schedules_run} schedules)",
+            f"{verdict} (entry {self.entry}, {self.schedules_run} schedules, {mode})",
             f"  static: {'clean' if self.static_clean else 'still reported'}",
             f"  dynamic: {self.patched_leaks} leaks, {self.patched_panics} panics",
             f"  semantics: {self.comparable_schedules} comparable schedules, "
@@ -69,22 +81,67 @@ def validate_patch(
     entry: str,
     seeds: int = 25,
     max_steps: int = 50_000,
+    max_runs: int = 512,
 ) -> PatchValidation:
-    """Run the three-check validation for one GFix patch."""
+    """Run the three-check validation for one GFix patch.
+
+    Dynamic checks use exhaustive schedule exploration bounded by
+    ``max_runs``; ``seeds`` only matters when that bound is exceeded and
+    validation degrades to seeded sampling.
+    """
     if fix.patch is None:
         raise ValueError("fix produced no patch to validate")
     patched_source = fix.patch.apply()
     original = build_program(original_source, "original.go")
     patched = build_program(patched_source, "patched.go")
 
-    validation = PatchValidation(entry=entry, schedules_run=seeds)
+    validation = PatchValidation(entry=entry)
     validation.static_clean = _static_clean(patched, fix)
 
-    # Both programs are schedule-nondeterministic and the patch shifts RNG
-    # draws, so per-seed comparison is meaningless. Instead: every clean
-    # behaviour the ORIGINAL exhibits must still be achievable after the
-    # patch. (New patched behaviours are expected — they are the
-    # previously-blocking executions, now completing.)
+    patched_exp = explore(patched, entry=entry, max_runs=max_runs, max_steps=max_steps)
+    original_exp = explore(original, entry=entry, max_runs=max_runs, max_steps=max_steps)
+    if patched_exp.complete and original_exp.complete:
+        _check_exhaustive(validation, original_exp, patched_exp)
+    else:
+        which = "patched" if not patched_exp.complete else "original"
+        logger.warning(
+            "schedule space of the %s program exceeds the exploration bound "
+            "(%d runs); falling back to %d seeded schedules for entry %r",
+            which,
+            max_runs,
+            seeds,
+            entry,
+        )
+        validation.fallback = True
+        _check_sampled(validation, original, patched, entry, seeds, max_steps)
+    return validation
+
+
+def _check_exhaustive(validation, original_exp, patched_exp) -> None:
+    """Dynamic + semantics checks over fully enumerated outcome sets."""
+    validation.exhaustive = True
+    validation.schedules_run = patched_exp.runs
+    validation.patched_leaks = len(patched_exp.leaking())
+    validation.patched_panics = sum(1 for o in patched_exp.outcomes if o.panicked)
+    patched_signatures = {_signature(o) for o in patched_exp.outcomes}
+    for index, outcome in enumerate(original_exp.outcomes):
+        if outcome.blocked_forever or outcome.panicked:
+            continue  # the bug fired (or crashed): nothing to preserve
+        validation.comparable_schedules += 1
+        if _signature(outcome) not in patched_signatures:
+            validation.semantics_mismatches.append(index)
+
+
+def _check_sampled(validation, original, patched, entry, seeds, max_steps) -> None:
+    """The paper's random-sampling validation, kept as the fallback.
+
+    Both programs are schedule-nondeterministic and the patch shifts RNG
+    draws, so per-seed comparison is meaningless. Instead: every clean
+    behaviour the ORIGINAL exhibits must still be achievable after the
+    patch. (New patched behaviours are expected — they are the previously
+    blocking executions, now completing.)
+    """
+    validation.schedules_run = seeds
     original_clean = set()
     patched_signatures = set()
     for seed in range(seeds):
@@ -96,13 +153,12 @@ def validate_patch(
         patched_signatures.add(_signature(patched_outcome))
         original_outcome = run_program(original, entry=entry, seed=seed, max_steps=max_steps)
         if original_outcome.blocked_forever or original_outcome.panicked:
-            continue  # the bug fired (or crashed): nothing to preserve
+            continue
         validation.comparable_schedules += 1
         original_clean.add((seed, _signature(original_outcome)))
     for seed, signature in sorted(original_clean):
         if signature not in patched_signatures:
             validation.semantics_mismatches.append(seed)
-    return validation
 
 
 def _signature(outcome) -> tuple:

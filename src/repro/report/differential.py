@@ -1,0 +1,48 @@
+"""Rendering for the static↔dynamic differential study (see repro.diffcheck).
+
+The table lists one row per corpus case — static verdict, dynamic verdict,
+search effort, reconciled classification — followed by a summary block with
+the agreement rate and a count of unexplained disagreements (which the
+benchmark suite requires to be zero).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.report.table import render_simple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.diffcheck import DifferentialReport
+
+HEADERS = ["Case", "Static", "Dynamic", "Runs", "Outcomes", "Class", "Explanation"]
+
+
+def render_differential(report: "DifferentialReport") -> str:
+    from repro import diffcheck
+
+    table = render_simple(
+        HEADERS,
+        [v.row() for v in report.verdicts],
+        title=(
+            "Static vs dynamic oracle differential "
+            f"(bound: {report.max_runs} runs x {report.max_steps} steps; "
+            "Runs '+' = search truncated)"
+        ),
+    )
+    counts = {
+        "agree (bug)": len(report.by_class(diffcheck.AGREE_BUG)),
+        "agree (clean)": len(report.by_class(diffcheck.AGREE_CLEAN)),
+        "static-only": len(report.by_class(diffcheck.STATIC_ONLY)),
+        "dynamic-only": len(report.by_class(diffcheck.DYNAMIC_ONLY)),
+        "divergence": len(report.by_class(diffcheck.DIVERGENCE)),
+    }
+    summary = ", ".join(f"{name}: {n}" for name, n in counts.items() if n)
+    lines = [
+        table,
+        "",
+        f"{len(report.verdicts)} case(s) — {summary}",
+        f"agreement rate: {report.agreement_rate:.0%}; "
+        f"unexplained disagreements: {len(report.unexplained())}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,592 @@
+"""Systematic schedule exploration: the dynamic oracle as a *checker*.
+
+``run_program`` samples interleavings from a seeded RNG — the paper's
+random-sleep validation (§5.1). Sampling can miss rare interleavings, so a
+"no schedule leaks" claim built on it is only probabilistic. This module
+replaces sampling with bounded systematic search:
+
+* every nondeterministic decision (which goroutine steps, which ``select``
+  case commits) is a *choice point*; the explorer runs the program to
+  completion, records the choice points it passed, and then backtracks
+  depth-first over the untried alternatives — stateless model checking in
+  the style of VeriSoft/GoAT;
+* commuting steps are not explored in both orders. Each pending step gets a
+  *footprint* (the channels/mutexes/waitgroups/shared variables it touches);
+  steps with disjoint footprints are independent, and a sleep-set discipline
+  (Godefroid) prunes the redundant orderings. Steps with an *empty*
+  footprint (pure goroutine-local work) never branch at all;
+* exploration is bounded by a run budget, a per-run branching (depth) bound
+  and an optional preemption bound; :class:`Exploration.complete` reports
+  honestly whether the whole space within the program's semantics was
+  covered or the bound was hit.
+
+Every explored outcome carries its choice trace, and
+:class:`ReplayScheduler` re-executes any trace deterministically — a
+discovered leaking schedule is a reproducible artifact, not a lucky seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.runtime.choices import Choice, ChoicePolicy, ReplayDivergence
+from repro.runtime.interp import RUNNABLE, Goroutine, Interpreter
+from repro.runtime.scheduler import ExecutionResult, replay_trace, run_program
+from repro.runtime.values import (
+    CancelFunc,
+    Channel,
+    CondVal,
+    Env,
+    MutexVal,
+    SliceVal,
+    StructVal,
+    WaitGroupVal,
+)
+from repro.ssa import ir
+from repro.ssa.builder import (
+    DEFER_CLOSE,
+    DEFER_LOCK,
+    DEFER_RLOCK,
+    DEFER_RUNLOCK,
+    DEFER_SEND,
+    DEFER_UNLOCK,
+    DEFER_WG_DONE,
+)
+
+Footprint = FrozenSet[Hashable]
+
+#: footprint token that conflicts with every other footprint
+CONFLICT_ALL = "*"
+
+_EMPTY: Footprint = frozenset()
+_WILD: Footprint = frozenset({CONFLICT_ALL})
+
+
+def independent(a: Footprint, b: Footprint) -> bool:
+    """Two steps commute iff their footprints are disjoint and bounded."""
+    if CONFLICT_ALL in a or CONFLICT_ALL in b:
+        return False
+    return not (a & b)
+
+
+# ---------------------------------------------------------------------------
+# footprints
+
+
+def _operand_value(op: Optional[ir.Operand], env: Env) -> Any:
+    """Resolve an operand *without* interpreter side effects (no closures)."""
+    if isinstance(op, ir.Var):
+        try:
+            return env.lookup(op.name)
+        except KeyError:
+            return None
+    if isinstance(op, ir.Const):
+        return op.value
+    return None
+
+
+def _sync_token(value: Any) -> Hashable:
+    if isinstance(value, (Channel, MutexVal, WaitGroupVal, CondVal)):
+        return (type(value).__name__, value.id)
+    # nil channels / unresolved primitives: one shared bucket is conservative
+    return ("nil-primitive",)
+
+
+def _cells(env: Env, *operands: Optional[ir.Operand]) -> set:
+    """Shared-variable cells an instruction reads or writes.
+
+    A cell only matters when its owning frame has been captured by a
+    closure (``Env.shared``): variables in never-captured frames cannot be
+    reached by any other goroutine, so touching them commutes with
+    everything.
+    """
+    cells: set = set()
+    for op in operands:
+        if not isinstance(op, ir.Var):
+            continue
+        owner = env.owner_of(op.name)
+        if owner is not None and owner.shared:
+            cells.add(("var", owner.shared_serial, op.name))
+    return cells
+
+
+def step_footprint(interp: Interpreter, goroutine: Goroutine) -> Footprint:
+    """Shared state the goroutine's *next* step may touch.
+
+    Empty means the step is invisible to every other goroutine and need
+    never be reordered against anything; ``{CONFLICT_ALL}`` means "assume it
+    touches everything".
+    """
+    frame = goroutine.frame
+    env = frame.env
+    if frame.returning:
+        if frame.deferred:
+            target, dargs = frame.deferred[-1]
+            if isinstance(target, ir.FuncRef):
+                if target.name in (
+                    DEFER_CLOSE,
+                    DEFER_SEND,
+                    DEFER_UNLOCK,
+                    DEFER_RUNLOCK,
+                    DEFER_LOCK,
+                    DEFER_RLOCK,
+                    DEFER_WG_DONE,
+                ):
+                    return frozenset({_sync_token(dargs[0] if dargs else None)})
+            return _EMPTY  # a deferred call just pushes a frame
+        # frame pop: return values land in the caller's env
+        if len(goroutine.frames) >= 2 and frame.dsts:
+            caller_env = goroutine.frames[-2].env
+            return frozenset(_cells(caller_env, *frame.dsts))
+        return _EMPTY
+    instr = frame.current_instr()
+    if instr is None:
+        return _EMPTY
+    return _instr_footprint(instr, env)
+
+
+def _instr_footprint(instr: ir.Instr, env: Env) -> Footprint:
+    if isinstance(instr, (ir.Send, ir.Recv, ir.Close, ir.RangeNext)):
+        chan = _sync_token(_operand_value(instr.chan, env))
+        extra: List[Optional[ir.Operand]] = [instr.chan]
+        if isinstance(instr, ir.Send):
+            extra.append(instr.value)
+        if isinstance(instr, ir.Recv):
+            extra.extend([instr.dst, instr.ok_dst])
+        if isinstance(instr, ir.RangeNext):
+            extra.append(instr.dst)
+        return frozenset({chan} | _cells(env, *extra))
+    if isinstance(instr, ir.Select):
+        tokens: set = set()
+        ops: List[Optional[ir.Operand]] = []
+        for case in instr.cases:
+            tokens.add(_sync_token(_operand_value(case.chan, env)))
+            ops.extend([case.chan, case.value, case.dst, case.ok_dst])
+        return frozenset(tokens | _cells(env, *ops))
+    if isinstance(instr, (ir.Lock, ir.Unlock)):
+        return frozenset({_sync_token(_operand_value(instr.mutex, env))} | _cells(env, instr.mutex))
+    if isinstance(instr, (ir.WgAdd, ir.WgDone, ir.WgWait)):
+        return frozenset({_sync_token(_operand_value(instr.wg, env))} | _cells(env, instr.wg))
+    if isinstance(instr, (ir.CondWait, ir.CondSignal)):
+        return frozenset({_sync_token(_operand_value(instr.cond, env))} | _cells(env, instr.cond))
+    if isinstance(instr, ir.Println):
+        return frozenset({("io",)} | _cells(env, *instr.args))
+    if isinstance(instr, ir.Fatal):
+        return frozenset({("test",)})
+    if isinstance(instr, ir.Sleep):
+        # sleeping interacts with the virtual clock every step advances;
+        # modelled conservatively (see also the sleeper check in the policy)
+        return frozenset({("clock",)})
+    if isinstance(instr, ir.Panic):
+        return _WILD  # a panic kills the whole program
+    if isinstance(instr, ir.Go):
+        return frozenset(_cells(env, *instr.args))
+    if isinstance(instr, ir.Call):
+        target = _operand_value(instr.func_op, env)
+        cells = _cells(env, *instr.args, instr.func_op, *instr.dsts)
+        if isinstance(target, CancelFunc):
+            return frozenset({_sync_token(target.ctx.done)} | cells)
+        return frozenset(cells)
+    if isinstance(instr, ir.Defer):
+        return frozenset(_cells(env, instr.func_op, *instr.args))
+    if isinstance(instr, ir.Assign):
+        return frozenset(_cells(env, instr.dst, instr.src))
+    if isinstance(instr, ir.BinOp):
+        return frozenset(_cells(env, instr.dst, instr.left, instr.right))
+    if isinstance(instr, ir.UnOp):
+        return frozenset(_cells(env, instr.dst, instr.operand))
+    if isinstance(instr, (ir.FieldGet, ir.FieldSet)):
+        obj = _operand_value(instr.obj, env)
+        tokens = set()
+        if isinstance(obj, StructVal):
+            tokens.add(("field", obj.id, instr.field_name))
+        ops = [instr.obj]
+        ops.append(instr.dst if isinstance(instr, ir.FieldGet) else instr.value)
+        return frozenset(tokens | _cells(env, *ops))
+    if isinstance(instr, (ir.IndexGet, ir.IndexSet)):
+        seq = _operand_value(instr.seq, env)
+        tokens = set()
+        if isinstance(seq, SliceVal):
+            tokens.add(("slice", seq.id))
+        ops = [instr.seq, instr.index]
+        ops.append(instr.dst if isinstance(instr, ir.IndexGet) else instr.value)
+        return frozenset(tokens | _cells(env, *ops))
+    if isinstance(instr, ir.CtxDone):
+        return frozenset(_cells(env, instr.ctx, instr.dst))
+    if isinstance(
+        instr,
+        (
+            ir.MakeChan,
+            ir.MakeMutex,
+            ir.MakeWaitGroup,
+            ir.MakeCond,
+            ir.MakeSlice,
+            ir.MakeStruct,
+        ),
+    ):
+        return frozenset(_cells(env, instr.dst))
+    if isinstance(instr, ir.MakeContext):
+        return frozenset(_cells(env, instr.dst, instr.cancel_dst))
+    if isinstance(instr, ir.CondJump):
+        return frozenset(_cells(env, instr.cond))
+    if isinstance(instr, ir.Jump):
+        return _EMPTY
+    if isinstance(instr, ir.Return):
+        return frozenset(_cells(env, *instr.values))
+    return _WILD  # unknown instruction: assume it touches everything
+
+
+# ---------------------------------------------------------------------------
+# outcome signatures
+
+
+def outcome_signature(result: ExecutionResult) -> tuple:
+    """What makes two executions "the same outcome".
+
+    Deliberately goroutine-id-free: commuting independent steps (e.g. two
+    unrelated ``go`` statements) permutes gid assignment without changing
+    any observable behaviour.
+    """
+    leaks = tuple(
+        sorted((leak.function, leak.blocked_line, leak.blocked_kind) for leak in result.leaked)
+    )
+    return (
+        tuple(result.output),
+        result.panicked,
+        result.panic_message,
+        result.test_failed,
+        result.global_deadlock,
+        tuple(sorted(set(result.deadlock_lines))),
+        leaks,
+        result.hit_step_limit,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the directed policy
+
+
+class _PrunedRun(Exception):
+    """Every enabled step is asleep: this continuation is covered elsewhere."""
+
+
+@dataclass
+class _BranchPoint:
+    pos: int  # index of this choice in the run's trace
+    kind: str  # 'sched' | 'select'
+    options: int
+    candidates: List[int]  # option indices, exploration order; [0] was taken
+    gids: List[int]  # goroutine ids per candidate (sched only)
+    fps: List[Footprint]  # footprint per candidate (sched only)
+    sleep: Dict[int, Footprint]  # sleep set snapshot before this choice
+
+
+@dataclass
+class _Bounds:
+    max_branch: int
+    preemption_bound: Optional[int]
+    prune: bool
+
+
+class _DirectedPolicy(ChoicePolicy):
+    """Replay a forced prefix, then extend depth-first, recording branches."""
+
+    def __init__(
+        self,
+        prefix: Sequence[Choice],
+        branch_sleep: Dict[int, Footprint],
+        bounds: _Bounds,
+    ):
+        super().__init__()
+        self._prefix = list(prefix)
+        self._branch_sleep = dict(branch_sleep)
+        self._bounds = bounds
+        self.sleep: Dict[int, Footprint] = {}
+        self.branch_points: List[_BranchPoint] = []
+        self.truncated = False
+        self._last_gid: Optional[int] = None
+        self._preemptions = 0
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _note_step(self, goroutine: Goroutine, options: Sequence[Goroutine]) -> None:
+        gid = goroutine.gid
+        if self._last_gid is not None and gid != self._last_gid:
+            if any(g.gid == self._last_gid for g in options):
+                self._preemptions += 1
+        self._last_gid = gid
+
+    def _wake_dependents(self, fp: Footprint) -> None:
+        if self.sleep:
+            self.sleep = {
+                gid: slept for gid, slept in self.sleep.items() if independent(slept, fp)
+            }
+
+    # -- decisions --------------------------------------------------------
+
+    def _decide(self, kind: str, options: Sequence[Any], interp: Any) -> int:
+        pos = len(self.trace)
+        if pos < len(self._prefix):
+            return self._replay_prefix(pos, kind, options, interp)
+        if kind == "sched":
+            return self._decide_sched(pos, options, interp)
+        return self._decide_select(pos, options)
+
+    def _replay_prefix(self, pos: int, kind: str, options: Sequence[Any], interp: Any) -> int:
+        recorded = self._prefix[pos]
+        if recorded.kind != kind or recorded.options != len(options):
+            raise ReplayDivergence(
+                f"prefix choice {pos}: recorded {recorded.kind}/{recorded.options}, "
+                f"program offers {kind}/{len(options)}"
+            )
+        if kind == "sched":
+            chosen = options[recorded.index]
+            fp = step_footprint(interp, chosen)
+            if fp:  # invisible steps don't count against the preemption budget
+                self._note_step(chosen, options)
+        if pos == len(self._prefix) - 1:
+            # the branch point itself: the parent already filtered this
+            # sleep set against the substituted choice's footprint
+            self.sleep = dict(self._branch_sleep)
+        return recorded.index
+
+    def _decide_sched(self, pos: int, options: Sequence[Goroutine], interp: Any) -> int:
+        bounds = self._bounds
+        sleeper_active = any(
+            g.status == RUNNABLE and g.sleep_until > interp.clock
+            for g in interp.goroutines.values()
+        )
+        if bounds.prune and not sleeper_active:
+            fps = [step_footprint(interp, g) for g in options]
+            for i, fp in enumerate(fps):
+                if not fp:
+                    return i  # invisible: run it now, nothing to reorder
+        else:
+            # timers in play (or pruning off): assume everything conflicts
+            fps = [_WILD for _ in options]
+
+        candidates = [i for i, g in enumerate(options) if g.gid not in self.sleep]
+        if not candidates:
+            raise _PrunedRun()
+        if (
+            bounds.preemption_bound is not None
+            and self._preemptions >= bounds.preemption_bound
+            and self._last_gid is not None
+        ):
+            same = [i for i in candidates if options[i].gid == self._last_gid]
+            if same:
+                if len(candidates) > 1:
+                    self.truncated = True
+                candidates = same
+
+        if len(candidates) > 1:
+            if len(self.branch_points) < bounds.max_branch:
+                self.branch_points.append(
+                    _BranchPoint(
+                        pos=pos,
+                        kind="sched",
+                        options=len(options),
+                        candidates=list(candidates),
+                        gids=[options[i].gid for i in candidates],
+                        fps=[fps[i] for i in candidates],
+                        sleep=dict(self.sleep),
+                    )
+                )
+            else:
+                self.truncated = True
+        chosen = candidates[0]
+        self._wake_dependents(fps[chosen])
+        self._note_step(options[chosen], options)
+        return chosen
+
+    def _decide_select(self, pos: int, options: Sequence[Any]) -> int:
+        if len(options) > 1:
+            if len(self.branch_points) < self._bounds.max_branch:
+                self.branch_points.append(
+                    _BranchPoint(
+                        pos=pos,
+                        kind="select",
+                        options=len(options),
+                        candidates=list(range(len(options))),
+                        gids=[],
+                        fps=[],
+                        sleep=dict(self.sleep),
+                    )
+                )
+            else:
+                self.truncated = True
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# exploration driver
+
+
+@dataclass
+class _WorkItem:
+    prefix: List[Choice]
+    sleep: Dict[int, Footprint]
+
+
+@dataclass
+class Exploration:
+    """Everything a bounded systematic search established."""
+
+    entry: str
+    runs: int = 0
+    pruned_runs: int = 0
+    step_limited_runs: int = 0
+    complete: bool = True  # False whenever any bound truncated the search
+    outcomes: List[ExecutionResult] = field(default_factory=list)
+    _signatures: Dict[tuple, ExecutionResult] = field(default_factory=dict)
+
+    def record(self, result: ExecutionResult) -> bool:
+        signature = outcome_signature(result)
+        if signature in self._signatures:
+            return False
+        self._signatures[signature] = result
+        self.outcomes.append(result)
+        return True
+
+    def signatures(self) -> List[tuple]:
+        return list(self._signatures)
+
+    def leaking(self) -> List[ExecutionResult]:
+        return [r for r in self.outcomes if r.blocked_forever]
+
+    def clean(self) -> List[ExecutionResult]:
+        return [r for r in self.outcomes if not r.blocked_forever and not r.panicked]
+
+    @property
+    def any_leak(self) -> bool:
+        return bool(self.leaking())
+
+    @property
+    def leak_free(self) -> bool:
+        """Proven leak-freedom: no leak found AND the search was complete."""
+        return self.complete and not self.any_leak
+
+    def render(self) -> str:
+        status = "complete" if self.complete else "bounded"
+        lines = [
+            f"explored {self.runs} schedule(s) ({status}; {self.pruned_runs} pruned), "
+            f"{len(self.outcomes)} distinct outcome(s), {len(self.leaking())} leaking"
+        ]
+        for result in self.outcomes:
+            if result.blocked_forever:
+                where = ", ".join(
+                    f"{l.function}:{l.blocked_line} ({l.blocked_kind})" for l in result.leaked
+                )
+                kind = "DEADLOCK" if result.global_deadlock else "LEAK"
+                lines.append(f"  {kind}: {where or sorted(set(result.deadlock_lines))}")
+        return "\n".join(lines)
+
+
+def explore(
+    program: ir.Program,
+    entry: str = "main",
+    max_runs: int = 512,
+    max_branch: int = 96,
+    preemption_bound: Optional[int] = None,
+    max_steps: int = 20_000,
+    prune: bool = True,
+    args: Optional[List[Any]] = None,
+) -> Exploration:
+    """Depth-first enumerate schedules of ``entry`` up to the given bounds.
+
+    Returns an :class:`Exploration`; ``complete`` is True only when every
+    interleaving (modulo commutation of independent steps) was covered.
+    """
+    bounds = _Bounds(max_branch=max_branch, preemption_bound=preemption_bound, prune=prune)
+    exploration = Exploration(entry=entry)
+    stack: List[_WorkItem] = [_WorkItem(prefix=[], sleep={})]
+    while stack:
+        if exploration.runs >= max_runs:
+            exploration.complete = False
+            break
+        item = stack.pop()
+        policy = _DirectedPolicy(item.prefix, item.sleep, bounds)
+        try:
+            result: Optional[ExecutionResult] = run_program(
+                program,
+                entry=entry,
+                seed=exploration.runs,
+                max_steps=max_steps,
+                args=args,
+                policy=policy,
+            )
+        except _PrunedRun:
+            result = None
+            exploration.pruned_runs += 1
+        exploration.runs += 1
+        if result is not None:
+            exploration.record(result)
+            if result.hit_step_limit:
+                exploration.step_limited_runs += 1
+                exploration.complete = False
+        if policy.truncated:
+            exploration.complete = False
+        for bp in policy.branch_points:
+            base = list(policy.trace[: bp.pos])
+            for j in range(1, len(bp.candidates)):
+                stack.append(
+                    _WorkItem(
+                        prefix=base + [Choice(bp.kind, bp.options, bp.candidates[j])],
+                        sleep=_sibling_sleep(bp, j),
+                    )
+                )
+    return exploration
+
+
+def _sibling_sleep(bp: _BranchPoint, j: int) -> Dict[int, Footprint]:
+    """Sleep set for the j-th candidate: earlier siblings go to sleep."""
+    if bp.kind != "sched":
+        return dict(bp.sleep)
+    merged = dict(bp.sleep)
+    for k in range(j):
+        merged[bp.gids[k]] = bp.fps[k]
+    own = bp.fps[j]
+    return {gid: fp for gid, fp in merged.items() if independent(fp, own)}
+
+
+# ---------------------------------------------------------------------------
+# replay
+
+
+class ReplayScheduler:
+    """Deterministically re-run one discovered schedule from its trace.
+
+    ``ReplayScheduler(program, result.choice_trace).run()`` reproduces the
+    exact execution that produced ``result`` — output, leaks, step counts.
+    """
+
+    def __init__(
+        self,
+        program: ir.Program,
+        trace: Sequence[Choice],
+        entry: str = "main",
+        seed: int = 0,
+        max_steps: int = 100_000,
+        args: Optional[List[Any]] = None,
+    ):
+        self.program = program
+        self.trace = list(trace)
+        self.entry = entry
+        self.seed = seed
+        self.max_steps = max_steps
+        self.args = args
+
+    def run(self) -> ExecutionResult:
+        return replay_trace(
+            self.program,
+            self.trace,
+            entry=self.entry,
+            seed=self.seed,
+            max_steps=self.max_steps,
+            args=self.args,
+        )
+
+    def reproduces(self, result: ExecutionResult) -> bool:
+        """Replay and compare against an earlier result's observables."""
+        return outcome_signature(self.run()) == outcome_signature(result)

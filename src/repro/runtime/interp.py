@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import random
 
+from repro.runtime.choices import ChoicePolicy, RandomPolicy
 from repro.ssa import ir
 from repro.ssa.builder import (
     DEFER_CLOSE,
@@ -121,9 +122,15 @@ class Goroutine:
 class Interpreter:
     """Holds all goroutines and executes single instructions."""
 
-    def __init__(self, program: ir.Program, rng: random.Random):
+    def __init__(
+        self,
+        program: ir.Program,
+        rng: random.Random,
+        policy: Optional[ChoicePolicy] = None,
+    ):
         self.program = program
         self.rng = rng
+        self.policy = policy if policy is not None else RandomPolicy(rng)
         self.goroutines: Dict[int, Goroutine] = {}
         self._next_gid = 0
         self.clock = 0
@@ -169,6 +176,9 @@ class Interpreter:
         if isinstance(op, ir.FuncRef):
             func = self.program.functions.get(op.name)
             if func is not None and func.is_closure:
+                # the closure may outlive this frame and run on another
+                # goroutine: everything it captures becomes shared state
+                env.mark_shared()
                 return Closure(op.name, env)
             return op
         if isinstance(op, ir.MethodRef):
@@ -624,7 +634,7 @@ class Interpreter:
                 if chan.closed or len(chan.buffer) < chan.capacity or self.parked("recv", chan):
                     ready.append(case)
         if ready:
-            case = self.rng.choice(ready)
+            case = ready[self.policy.pick("select", ready, self)]
             chan = self.value_of(case.chan, frame.env)
             if case.kind == "recv":
                 ok_ready, value, ok = self._try_recv(chan)

@@ -22,8 +22,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.runtime.choices import Choice, ChoicePolicy, RandomPolicy, ReplayPolicy
 from repro.runtime.interp import BLOCKED, RUNNABLE, Goroutine, Interpreter
-from repro.runtime.values import Channel, ContextVal, Env, SliceVal, StructVal, TestingT
+from repro.runtime.values import (
+    Channel,
+    ContextVal,
+    Env,
+    SliceVal,
+    StructVal,
+    TestingT,
+    reset_runtime_ids,
+)
 from repro.ssa import ir
 
 
@@ -50,6 +59,9 @@ class ExecutionResult:
     test_failed: bool = False
     hit_step_limit: bool = False
     goroutine_steps: Dict[int, int] = field(default_factory=dict)
+    # every scheduling/select decision this execution made, in order;
+    # feeding it back through a ReplayPolicy reproduces the run exactly
+    choice_trace: List[Choice] = field(default_factory=list)
 
     @property
     def blocked_forever(self) -> bool:
@@ -90,10 +102,19 @@ def run_program(
     max_steps: int = 100_000,
     arg_kinds: Optional[Dict[str, str]] = None,
     args: Optional[List[Any]] = None,
+    policy: Optional[ChoicePolicy] = None,
 ) -> ExecutionResult:
-    """Execute ``entry`` under a seeded nondeterministic schedule."""
+    """Execute ``entry`` under one schedule.
+
+    Without an explicit ``policy`` the schedule is drawn from a seeded RNG
+    (the paper's random-sleep-style sampling); passing a policy lets the
+    replayer and the systematic explorer drive the very same loop.
+    """
+    reset_runtime_ids()
     rng = random.Random(seed)
-    interp = Interpreter(program, rng)
+    if policy is None:
+        policy = RandomPolicy(rng)
+    interp = Interpreter(program, rng, policy=policy)
     entry_func = program.functions.get(entry)
     if entry_func is None:
         raise KeyError(f"no entry function {entry!r}")
@@ -123,7 +144,7 @@ def run_program(
                 continue
             result.global_deadlock = True
             break
-        goroutine = rng.choice(runnable)
+        goroutine = runnable[policy.pick("sched", runnable, interp)]
         interp.step(goroutine)
         steps += 1
 
@@ -131,6 +152,7 @@ def run_program(
         result.hit_step_limit = True
 
     _collect(interp, main, result, steps)
+    result.choice_trace = list(policy.trace)
     return result
 
 
@@ -169,7 +191,7 @@ def _drain(interp: Interpreter, main: Goroutine, result: ExecutionResult, budget
                 interp.clock += 1
                 continue
             return True
-        interp.step(interp.rng.choice(runnable))
+        interp.step(runnable[interp.policy.pick("sched", runnable, interp)])
         steps += 1
     return False
 
@@ -212,3 +234,27 @@ def explore_schedules(
 
 def any_blocks(results: List[ExecutionResult]) -> bool:
     return any(r.blocked_forever for r in results)
+
+
+def replay_trace(
+    program: ir.Program,
+    trace: List[Choice],
+    entry: str = "main",
+    seed: int = 0,
+    max_steps: int = 100_000,
+    args: Optional[List[Any]] = None,
+) -> ExecutionResult:
+    """Re-execute a recorded choice trace; the result is bit-identical.
+
+    ``seed`` only labels the result (the RNG is never consulted during a
+    replay); pass the original run's seed to make the dataclasses compare
+    equal field-for-field.
+    """
+    return run_program(
+        program,
+        entry=entry,
+        seed=seed,
+        max_steps=max_steps,
+        args=args,
+        policy=ReplayPolicy(trace),
+    )

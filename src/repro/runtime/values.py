@@ -12,6 +12,23 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 
+def reset_runtime_ids() -> None:
+    """Restart the per-run serial counters for sync objects and env frames.
+
+    Called at the top of every ``run_program``: two executions that make the
+    same scheduling choices then mint identical ids, so the explorer can
+    compare footprints recorded in one run against objects seen in a sibling
+    run that shares its choice prefix.
+    """
+    Channel._counter = 0
+    MutexVal._counter = 0
+    WaitGroupVal._counter = 0
+    CondVal._counter = 0
+    StructVal._counter = 0
+    SliceVal._counter = 0
+    Env._shared_counter = 0
+
+
 class GoPanic(Exception):
     """Raised inside the interpreter when a goroutine panics."""
 
@@ -192,7 +209,11 @@ class CancelFunc:
 
 
 class StructVal:
+    _counter = 0
+
     def __init__(self, type_name: str, fields: Optional[Dict[str, Any]] = None):
+        StructVal._counter += 1
+        self.id = StructVal._counter
         self.type_name = type_name
         self.fields: Dict[str, Any] = dict(fields or {})
 
@@ -201,7 +222,11 @@ class StructVal:
 
 
 class SliceVal:
+    _counter = 0
+
     def __init__(self, elems: List[Any]):
+        SliceVal._counter += 1
+        self.id = SliceVal._counter
         self.elems = elems
 
     def __repr__(self) -> str:
@@ -225,13 +250,39 @@ class TestingT:
 
 
 class Env:
-    """A lexical environment frame; closures chain to their parent."""
+    """A lexical environment frame; closures chain to their parent.
 
-    __slots__ = ("vars", "parent")
+    ``shared`` marks frames that a closure has captured: variables living in
+    a shared frame are potentially visible to other goroutines, which the
+    systematic explorer uses to decide whether two steps commute.
+    """
+
+    __slots__ = ("vars", "parent", "shared", "shared_serial")
+
+    _shared_counter = 0
 
     def __init__(self, parent: Optional["Env"] = None):
         self.vars: Dict[str, Any] = {}
         self.parent = parent
+        self.shared = False
+        self.shared_serial = 0
+
+    def mark_shared(self) -> None:
+        env: Optional[Env] = self
+        while env is not None and not env.shared:
+            Env._shared_counter += 1
+            env.shared = True
+            env.shared_serial = Env._shared_counter
+            env = env.parent
+
+    def owner_of(self, name: str) -> Optional["Env"]:
+        """The frame in the chain that holds ``name``, or None."""
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                return env
+            env = env.parent
+        return None
 
     def lookup(self, name: str) -> Any:
         env: Optional[Env] = self

@@ -87,6 +87,31 @@ class TestRunCommand:
         assert "0/3 schedule(s) misbehaved" in out
 
 
+class TestExploreCommand:
+    def test_leaking_program_found_and_replayed(self, buggy_file, capsys):
+        code = main(["explore", buggy_file, "--replay"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "LEAK" in out
+        assert "reproduced" in out
+
+    def test_clean_program_proven(self, clean_file, capsys):
+        code = main(["explore", clean_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "complete" in out
+        assert "0 leaking" in out
+
+
+class TestDiffcheckCommand:
+    def test_agreement_table(self, capsys):
+        code = main(["diffcheck", "--max-runs", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agree-bug" in out
+        assert "unexplained disagreements: 0" in out
+
+
 class TestNonblockingCommand:
     def test_detects_send_on_closed(self, tmp_path, capsys):
         path = tmp_path / "nb.go"

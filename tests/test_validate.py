@@ -6,6 +6,7 @@ from repro.api import Project
 from repro.corpus.snippets import ALL_SNIPPETS
 from repro.fixer.patch import LineEdit, Patch
 from repro.fixer.validate import validate_patch
+from repro.runtime.explorer import explore
 
 
 def _fix_for(source: str, filename: str = "v.go"):
@@ -31,6 +32,65 @@ class TestCorrectPatches:
         project, fix = _fix_for(sn.source)
         validation = validate_patch(sn.source, fix, entry="main", seeds=5)
         assert "CORRECT" in validation.render()
+
+
+class TestMetamorphicPatchProperty:
+    """The metamorphic relation behind GFix: patching removes *every*
+    leaking schedule while the unpatched program provably has at least one.
+    Checked with the systematic explorer, not sampling: for bounded-space
+    programs the "zero leaks" claim is a proof, and for loop-shaped
+    programs whose space exceeds the bound the leak-freedom claim degrades
+    (and the exploration honestly reports ``complete=False``)."""
+
+    @pytest.mark.parametrize("sn", ALL_SNIPPETS, ids=lambda s: s.name)
+    def test_patch_removes_all_leaking_schedules(self, sn):
+        project, fix = _fix_for(sn.source, sn.name + ".go")
+        assert fix.fixed, fix.reason
+        entry = "main" if "main" in project.program.functions else sn.entry
+
+        unpatched = explore(project.program, entry=entry)
+        assert unpatched.any_leak, "unpatched program must have a leaking schedule"
+
+        patched = project.apply_fix(fix)
+        patched_exp = explore(patched.program, entry=entry)
+        assert not patched_exp.any_leak, (
+            f"patch left a leaking schedule: {patched_exp.render()}"
+        )
+
+    def test_bounded_space_patches_are_proven(self):
+        # the non-loop snippets complete exhaustively: leak-freedom is a proof
+        proven = 0
+        for sn in ALL_SNIPPETS:
+            project, fix = _fix_for(sn.source, sn.name + ".go")
+            entry = "main" if "main" in project.program.functions else sn.entry
+            patched_exp = explore(project.apply_fix(fix).program, entry=entry)
+            if patched_exp.complete:
+                assert patched_exp.leak_free
+                proven += 1
+        assert proven >= 2  # buffer- and defer-strategy patches both complete
+
+
+class TestExplorationModes:
+    def test_bounded_program_validates_exhaustively(self):
+        sn = next(s for s in ALL_SNIPPETS if s.name == "docker_exec")
+        project, fix = _fix_for(sn.source, sn.name + ".go")
+        validation = validate_patch(sn.source, fix, entry="main")
+        assert validation.exhaustive
+        assert not validation.fallback
+        assert validation.correct
+        assert "exhaustive" in validation.render()
+
+    def test_unbounded_program_falls_back_and_logs(self, caplog):
+        import logging
+
+        sn = next(s for s in ALL_SNIPPETS if s.name == "ethereum_interactive")
+        project, fix = _fix_for(sn.source, sn.name + ".go")
+        with caplog.at_level(logging.WARNING, logger="repro.fixer.validate"):
+            validation = validate_patch(sn.source, fix, entry="main", seeds=8, max_runs=64)
+        assert validation.fallback
+        assert not validation.exhaustive
+        assert validation.correct
+        assert any("falling back" in record.message for record in caplog.records)
 
 
 class TestBrokenPatchesRejected:
