@@ -13,15 +13,24 @@ from __future__ import annotations
 
 from benchmarks.conftest import record_report
 from repro.diffcheck import AGREE_BUG, DYNAMIC_ONLY, run_diffcheck
+from repro.obs import Collector, render_stats
 
 
 def test_differential_oracle_agreement(benchmark):
-    report = benchmark.pedantic(run_diffcheck, rounds=1, iterations=1)
+    collector = Collector("diffcheck")
+    report = benchmark.pedantic(
+        run_diffcheck, kwargs={"collector": collector}, rounds=1, iterations=1
+    )
 
     record_report(
         "Static vs dynamic differential (paper: 33/49 detected = 67%)",
         report.render(),
     )
+    record_report(
+        "Differential sweep per-stage cost (repro.obs)",
+        render_stats(collector),
+    )
+    assert report.trace is collector
 
     assert len(report.verdicts) == 49
     # every statically detected bug is dynamically confirmed within bound

@@ -17,18 +17,21 @@ from benchmarks.conftest import record_report
 from repro.corpus.apps import corpus_app
 from repro.detector.gcatch import run_gcatch
 from repro.fixer.dispatcher import GFix
+from repro.obs import Collector, render_stats
 from repro.report.table import render_simple
 
 APPS = ["bbolt", "gRPC", "Docker", "Kubernetes"]
 
 
 def test_gfix_time_breakdown(benchmark):
+    collector = Collector("gfix-time")
+
     def measure(app_name: str):
         app = corpus_app(app_name)
         program = app.program()
         result = run_gcatch(program)
         start = time.perf_counter()
-        gfix = GFix(program, app.source)
+        gfix = GFix(program, app.source, collector=collector)
         preprocess = time.perf_counter() - start
         transforms = []
         for report in result.bmoc.bmoc_channel_bugs():
@@ -64,6 +67,10 @@ def test_gfix_time_breakdown(benchmark):
     record_report(
         "GFix time: preprocessing vs transformation (§5.3)",
         render_simple(["app", "preprocess ms", "avg transform ms", "preprocess share"], rows),
+    )
+    record_report(
+        "GFix per-phase cost across apps (repro.obs)",
+        render_stats(collector),
     )
 
     # the shape: preprocessing dominates patch generation

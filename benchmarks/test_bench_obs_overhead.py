@@ -1,0 +1,82 @@
+"""Experiment E-obs: the observability layer's no-op overhead.
+
+The tracing/metrics layer (``repro.obs``) is threaded through every
+pipeline stage, but observability is off by default: instrumented call
+sites pay one truthiness check against the null collector. This benchmark
+measures end-to-end BMOC detection over the corpus with observability off
+(the shipped default) and with a live collector, and asserts the *active*
+layer stays within 5% of baseline — so the default no-op path, which does
+strictly less work, is within the budget a fortiori.
+
+Min-of-N with interleaved rounds: alternating baseline/active rounds
+cancels drift (thermal, cache, GC), and the per-mode minimum is the
+standard low-noise estimator for "how fast can this go".
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import record_report
+from repro.corpus.apps import build_corpus
+from repro.detector.bmoc import detect_bmoc
+from repro.obs import Collector
+from repro.report.table import render_simple
+
+ROUNDS = 5
+BUDGET = 1.05  # active tracing within 5% of the no-op default
+
+
+def _detect_corpus(programs, collector=None) -> float:
+    start = time.perf_counter()
+    for program in programs:
+        detect_bmoc(program, collector=collector)
+    return time.perf_counter() - start
+
+
+def test_obs_overhead_within_budget(benchmark):
+    programs = [app.program() for app in build_corpus()]
+    _detect_corpus(programs)  # warm caches before timing anything
+
+    baseline_times, active_times = [], []
+
+    def interleaved_rounds():
+        for _ in range(ROUNDS):
+            baseline_times.append(_detect_corpus(programs, collector=None))
+            active_times.append(_detect_corpus(programs, collector=Collector("bench")))
+
+    benchmark.pedantic(interleaved_rounds, rounds=1, iterations=1)
+
+    baseline = min(baseline_times)
+    active = min(active_times)
+    ratio = active / baseline
+    record_report(
+        "Observability overhead: corpus detect, no-op vs active collector",
+        render_simple(
+            ["mode", "best of %d (s)" % ROUNDS],
+            [
+                ["no-op (default)", f"{baseline:.4f}"],
+                ["active collector", f"{active:.4f}"],
+                ["ratio", f"{ratio:.3f}"],
+            ],
+        ),
+    )
+    assert ratio <= BUDGET, (
+        f"active observability costs {ratio:.3f}x the no-op default "
+        f"(budget {BUDGET}x): baseline {baseline:.4f}s, active {active:.4f}s"
+    )
+
+
+def test_active_collector_actually_records(benchmark):
+    """Sanity for the bench above: the active mode is not a silent no-op."""
+    programs = [app.program() for app in build_corpus()]
+    collector = Collector("bench-sanity")
+
+    def run():
+        for program in programs:
+            detect_bmoc(program, collector=collector)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    totals = collector.stage_totals()
+    assert "solve" in totals and "path-enum" in totals
+    assert collector.counters.get("detect.channels", 0) > 0

@@ -18,18 +18,20 @@ import pytest
 from benchmarks.conftest import record_report
 from repro.corpus.apps import build_corpus
 from repro.detector.bmoc import detect_bmoc
+from repro.obs import Collector, render_stats
 from repro.report.table import render_simple
 
 
 def test_scalability_across_app_sizes(benchmark):
     corpus = build_corpus()
+    collector = Collector("corpus-detect")
 
     def measure_all():
         rows = []
         for app in corpus:
             program = app.program()
             start = time.perf_counter()
-            result = detect_bmoc(program)
+            result = detect_bmoc(program, collector=collector)
             elapsed = time.perf_counter() - start
             rows.append((app.name, app.loc(), result.stats.channels_analyzed, elapsed))
         return rows
@@ -43,6 +45,10 @@ def test_scalability_across_app_sizes(benchmark):
     record_report(
         "BMOC detector scalability (§5.2): time vs application size",
         render_simple(["app", "LoC", "channels analyzed", "seconds"], table),
+    )
+    record_report(
+        "BMOC detector per-stage cost over the full corpus (repro.obs)",
+        render_stats(collector),
     )
 
     by_name = {name: (loc, channels, seconds) for name, loc, channels, seconds in rows}

@@ -23,6 +23,7 @@ from typing import Any, List, Optional
 from repro.detector.gcatch import GCatchResult, run_gcatch
 from repro.detector.reporting import BugReport
 from repro.fixer.dispatcher import FixResult, GFix, GFixSummary
+from repro.obs import NULL, Collector
 from repro.runtime.choices import Choice
 from repro.runtime.explorer import Exploration, explore
 from repro.runtime.scheduler import (
@@ -37,41 +38,71 @@ from repro.ssa.builder import build_program
 
 @dataclass
 class Project:
-    """A loaded MiniGo program plus lazily-built analysis artifacts."""
+    """A loaded MiniGo program plus lazily-built analysis artifacts.
+
+    A project carries one run-scoped :class:`repro.obs.Collector` that
+    every pipeline layer reports into. The default is the no-op
+    :data:`repro.obs.NULL` (observability off, hot paths pay one check);
+    pass ``collector=Collector()`` to ``from_source``/``from_file`` — or
+    to an individual call — to trace a run.
+    """
 
     source: str
     filename: str
     program: ir.Program
+    collector: Collector = NULL
     _gfix: Optional[GFix] = None
 
     @classmethod
-    def from_source(cls, source: str, filename: str = "<minigo>") -> "Project":
-        return cls(source=source, filename=filename, program=build_program(source, filename))
+    def from_source(
+        cls,
+        source: str,
+        filename: str = "<minigo>",
+        collector: Optional[Collector] = None,
+    ) -> "Project":
+        collector = collector or NULL
+        return cls(
+            source=source,
+            filename=filename,
+            program=build_program(source, filename, collector=collector),
+            collector=collector,
+        )
 
     @classmethod
-    def from_file(cls, path: str) -> "Project":
+    def from_file(cls, path: str, collector: Optional[Collector] = None) -> "Project":
         with open(path) as handle:
             source = handle.read()
-        return cls.from_source(source, path)
+        return cls.from_source(source, path, collector=collector)
+
+    def _obs(self, collector: Optional[Collector]) -> Optional[Collector]:
+        """Resolve a per-call collector override against the project's."""
+        chosen = collector or self.collector
+        return chosen if chosen else None
 
     # -- detection ---------------------------------------------------------
 
-    def detect(self, disentangle: bool = True) -> GCatchResult:
+    def detect(
+        self, disentangle: bool = True, collector: Optional[Collector] = None
+    ) -> GCatchResult:
         """Run GCatch (BMOC detector + the five traditional checkers)."""
-        return run_gcatch(self.program, disentangle=disentangle)
+        return run_gcatch(self.program, disentangle=disentangle, collector=self._obs(collector))
 
     # -- fixing -------------------------------------------------------------
 
-    def fix(self, report: BugReport) -> FixResult:
+    def fix(self, report: BugReport, collector: Optional[Collector] = None) -> FixResult:
         """Run GFix on one detected BMOC bug."""
-        if self._gfix is None:
-            self._gfix = GFix(self.program, self.source)
-        return self._gfix.fix(report)
+        return self._gfix_for(collector).fix(report)
 
-    def fix_all(self, reports: List[BugReport]) -> GFixSummary:
-        if self._gfix is None:
-            self._gfix = GFix(self.program, self.source)
-        return self._gfix.fix_all(reports)
+    def fix_all(
+        self, reports: List[BugReport], collector: Optional[Collector] = None
+    ) -> GFixSummary:
+        return self._gfix_for(collector).fix_all(reports)
+
+    def _gfix_for(self, collector: Optional[Collector]) -> GFix:
+        obs = self._obs(collector)
+        if self._gfix is None or (obs is not None and self._gfix.collector is not obs):
+            self._gfix = GFix(self.program, self.source, collector=obs)
+        return self._gfix
 
     def apply_fix(self, fix: FixResult) -> "Project":
         """Return a new Project with the patch applied."""
@@ -87,9 +118,17 @@ class Project:
         seed: int = 0,
         max_steps: int = 100_000,
         args: Optional[List[Any]] = None,
+        collector: Optional[Collector] = None,
     ) -> ExecutionResult:
         """Execute the program under one seeded schedule."""
-        return run_program(self.program, entry=entry, seed=seed, max_steps=max_steps, args=args)
+        return run_program(
+            self.program,
+            entry=entry,
+            seed=seed,
+            max_steps=max_steps,
+            args=args,
+            collector=self._obs(collector),
+        )
 
     def stress(
         self,
@@ -97,10 +136,16 @@ class Project:
         seeds: int = 20,
         max_steps: int = 100_000,
         args: Optional[List[Any]] = None,
+        collector: Optional[Collector] = None,
     ) -> List[ExecutionResult]:
         """Explore many schedules (the paper's random-sleep validation)."""
         return explore_schedules(
-            self.program, entry=entry, seeds=seeds, max_steps=max_steps, args=args
+            self.program,
+            entry=entry,
+            seeds=seeds,
+            max_steps=max_steps,
+            args=args,
+            collector=self._obs(collector),
         )
 
     def explore(
@@ -110,6 +155,7 @@ class Project:
         max_steps: int = 20_000,
         preemption_bound: Optional[int] = None,
         args: Optional[List[Any]] = None,
+        collector: Optional[Collector] = None,
     ) -> Exploration:
         """Systematically enumerate schedules (the explorer's dynamic oracle)."""
         return explore(
@@ -119,6 +165,7 @@ class Project:
             max_steps=max_steps,
             preemption_bound=preemption_bound,
             args=args,
+            collector=self._obs(collector),
         )
 
     def replay(
@@ -127,13 +174,23 @@ class Project:
         entry: str = "main",
         max_steps: int = 100_000,
         args: Optional[List[Any]] = None,
+        collector: Optional[Collector] = None,
     ) -> ExecutionResult:
         """Deterministically re-run one recorded choice trace."""
-        return replay_trace(self.program, trace, entry=entry, max_steps=max_steps, args=args)
+        return replay_trace(
+            self.program,
+            trace,
+            entry=entry,
+            max_steps=max_steps,
+            args=args,
+            collector=self._obs(collector),
+        )
 
 
-def detect_and_fix(source: str, filename: str = "<minigo>") -> GFixSummary:
+def detect_and_fix(
+    source: str, filename: str = "<minigo>", collector: Optional[Collector] = None
+) -> GFixSummary:
     """One-shot pipeline: detect all channel-only BMOC bugs and fix them."""
-    project = Project.from_source(source, filename)
+    project = Project.from_source(source, filename, collector=collector)
     result = project.detect()
     return project.fix_all(result.bmoc.bmoc_channel_bugs())

@@ -9,9 +9,15 @@ Commands mirror the paper's tooling:
   distinct outcome (the dynamic oracle as a checker);
 * ``diffcheck``       — diff GCatch's static verdicts against the
   explorer's dynamic verdicts over the 49-bug corpus;
+* ``stats``           — run the full pipeline under the observability
+  layer and print the per-stage trace (``--json`` for the machine form);
 * ``nonblocking FILE``— the §6 extension (send-on-closed / double-close);
 * ``table1``          — regenerate Table 1 over the synthetic corpus;
 * ``coverage``        — the 49-bug coverage study.
+
+``detect``/``fix`` accept ``--trace`` to append the per-stage table, and
+``explore``/``diffcheck`` accept ``--json`` for scriptable output in the
+``repro.obs`` stats schema.
 """
 
 from __future__ import annotations
@@ -22,18 +28,23 @@ from typing import List, Optional
 
 from repro.api import Project
 from repro.detector.nonblocking import detect_nonblocking
+from repro.obs import Collector, json_dumps, render_stats
 
 
-def _load(path: str) -> Project:
-    return Project.from_file(path)
+def _load(path: str, collector: Optional[Collector] = None) -> Project:
+    return Project.from_file(path, collector=collector)
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    project = _load(args.file)
+    collector = Collector(args.file) if args.trace else None
+    project = _load(args.file, collector=collector)
     result = project.detect(disentangle=not args.no_disentangle)
     reports = result.all_reports()
     if not reports:
         print("no bugs detected")
+        if collector is not None:
+            print()
+            print(render_stats(collector))
         return 0
     for report in reports:
         print(report.render())
@@ -41,11 +52,19 @@ def cmd_detect(args: argparse.Namespace) -> int:
     bmoc = len(result.bmoc.reports)
     print(f"{len(reports)} report(s): {bmoc} BMOC, {len(result.traditional)} traditional "
           f"({result.elapsed_seconds:.2f}s)")
+    if collector is not None:
+        from repro.report.table import render_bug_costs
+
+        print()
+        print(render_bug_costs(reports))
+        print()
+        print(render_stats(collector))
     return 1
 
 
 def cmd_fix(args: argparse.Namespace) -> int:
-    project = _load(args.file)
+    collector = Collector(args.file) if args.trace else None
+    project = _load(args.file, collector=collector)
     result = project.detect()
     bugs = result.bmoc.bmoc_channel_bugs()
     if not bugs:
@@ -62,6 +81,9 @@ def cmd_fix(args: argparse.Namespace) -> int:
         print()
     fixed = summary.fixed()
     print(f"fixed {len(fixed)}/{len(summary.results)} bug(s)")
+    if collector is not None:
+        print()
+        print(render_stats(collector))
     if args.write and len(fixed) == 1:
         patched = fixed[0].patch.apply()
         with open(args.file, "w") as handle:
@@ -95,13 +117,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    project = _load(args.file)
+    collector = Collector(args.file) if args.json else None
+    project = _load(args.file, collector=collector)
     exploration = project.explore(
         entry=args.entry,
         max_runs=args.max_runs,
         max_steps=args.max_steps,
         preemption_bound=args.preemption_bound,
     )
+    if args.json:
+        print(json_dumps(exploration.to_json()))
+        return 1 if exploration.any_leak else 0
     print(exploration.render())
     if args.replay and exploration.leaking():
         leak = exploration.leaking()[0]
@@ -113,11 +139,64 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 
 def cmd_diffcheck(args: argparse.Namespace) -> int:
+    from repro.corpus.bugset import build_bug_set
     from repro.diffcheck import run_diffcheck
 
-    report = run_diffcheck(max_runs=args.max_runs, max_steps=args.max_steps)
-    print(report.render())
+    cases = None
+    if args.cases:
+        prefixes = tuple(args.cases)
+        cases = [c for c in build_bug_set() if c.case_id.startswith(prefixes)]
+        if not cases:
+            print(f"no corpus cases match prefix(es): {', '.join(args.cases)}",
+                  file=sys.stderr)
+            return 2
+    collector = Collector("diffcheck") if args.json else None
+    report = run_diffcheck(
+        cases=cases,
+        max_runs=args.max_runs,
+        max_steps=args.max_steps,
+        collector=collector,
+    )
+    if args.json:
+        print(json_dumps(report.to_json()))
+    else:
+        print(report.render())
     return 1 if report.unexplained() else 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Full pipeline (detect → fix → explore) under one Collector."""
+    collector = Collector(args.file)
+    project = _load(args.file, collector=collector)
+    result = project.detect()
+    reports = result.all_reports()
+    summary = project.fix_all(result.bmoc.bmoc_channel_bugs())
+    exploration = project.explore(
+        entry=args.entry, max_runs=args.max_runs, max_steps=args.max_steps
+    )
+    if args.json:
+        from repro.obs import snapshot
+
+        print(json_dumps(snapshot(collector, extra={
+            "file": args.file,
+            "reports": len(reports),
+            "fixed": len(summary.fixed()),
+            "explored_runs": exploration.runs,
+            "any_leak": exploration.any_leak,
+        })))
+        return 0
+    from repro.report.table import render_bug_costs
+
+    print(f"{args.file}: {len(reports)} report(s), "
+          f"{len(summary.fixed())}/{len(summary.results)} fixed, "
+          f"{exploration.runs} schedule(s) explored"
+          f"{' (leak found)' if exploration.any_leak else ''}")
+    print()
+    if reports:
+        print(render_bug_costs(reports))
+        print()
+    print(render_stats(collector))
+    return 0
 
 
 def cmd_nonblocking(args: argparse.Namespace) -> int:
@@ -168,11 +247,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("detect", help="run GCatch on a MiniGo file")
     p.add_argument("file")
     p.add_argument("--no-disentangle", action="store_true", help="whole-program ablation mode")
+    p.add_argument("--trace", action="store_true",
+                   help="append the per-stage observability table")
     p.set_defaults(func=cmd_detect)
 
     p = sub.add_parser("fix", help="run GCatch + GFix; print patches")
     p.add_argument("file")
     p.add_argument("--write", action="store_true", help="apply a single patch in place")
+    p.add_argument("--trace", action="store_true",
+                   help="append the per-stage observability table")
     p.set_defaults(func=cmd_fix)
 
     p = sub.add_parser("run", help="execute under seeded schedules")
@@ -190,12 +273,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preemption-bound", type=int, default=None)
     p.add_argument("--replay", action="store_true",
                    help="re-run the first leaking trace to confirm it reproduces")
+    p.add_argument("--json", action="store_true",
+                   help="emit the exploration as repro.obs-schema JSON")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("diffcheck", help="static vs dynamic differential over the bug corpus")
     p.add_argument("--max-runs", type=int, default=512)
     p.add_argument("--max-steps", type=int, default=20_000)
+    p.add_argument("--cases", nargs="*", default=None,
+                   help="restrict to corpus case_ids with these prefixes")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as repro.obs-schema JSON")
     p.set_defaults(func=cmd_diffcheck)
+
+    p = sub.add_parser("stats", help="full pipeline under the observability layer")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--max-runs", type=int, default=512)
+    p.add_argument("--max-steps", type=int, default=20_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit the trace as repro.obs-schema JSON")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("nonblocking", help="send-on-closed / double-close detection")
     p.add_argument("file")

@@ -93,6 +93,11 @@ class ConstraintSystem:
     def buffer_size(self, prim: Primitive) -> int:
         return self.buffer_sizes.get(prim, DEFAULT_BUFFER_GUESS)
 
+    def clause_count(self) -> int:
+        """Size of Φ_R ∧ Φ_B: one clause per order/spawn constraint, per
+        proceed condition (Φ_sync) and per blocking condition (Φ_B)."""
+        return len(self.order_constraints) + len(self.occurrences) + len(self.stops)
+
     # -- pretty-printing, for reports and tests ---------------------------
 
     def render(self) -> str:
@@ -114,7 +119,9 @@ class ConstraintSystem:
         return "\n".join(lines)
 
 
-def encode(combo: PathCombination, stops: List[StopPoint]) -> ConstraintSystem:
+def encode(
+    combo: PathCombination, stops: List[StopPoint], collector=None
+) -> ConstraintSystem:
     """Build the constraint system for one suspicious group."""
     system = ConstraintSystem(stops=stops)
     stop_index: Dict[int, int] = {}
@@ -158,4 +165,8 @@ def encode(combo: PathCombination, stops: List[StopPoint]) -> ConstraintSystem:
     for prim in system.primitives():
         size = prim.buffer_size()
         system.buffer_sizes[prim] = size if size is not None else DEFAULT_BUFFER_GUESS
+    if collector:
+        collector.count("constraints.systems")
+        collector.count("constraints.clauses", system.clause_count())
+        collector.observe("constraints.clauses-per-system", system.clause_count())
     return system

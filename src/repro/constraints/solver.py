@@ -34,6 +34,11 @@ from repro.detector.paths import OpEvent, SelectChoice, SpawnEvent
 
 MAX_NODES = 50_000
 
+#: decision-procedure outcomes (the paper's SAT / UNSAT / Z3 timeout)
+SAT = "sat"
+UNSAT = "unsat"
+TIMEOUT = "timeout"  # node budget exhausted before a verdict
+
 
 @dataclass
 class Solution:
@@ -94,6 +99,7 @@ class _Search:
         self.prim_index = {id(p): i for i, p in enumerate(self.prims)}
         self.visited: set = set()
         self.nodes = 0
+        self.exhausted = False  # node budget hit before the search finished
         self.schedule: List[Occurrence] = []
         self.matches: List[Tuple[int, int]] = []
 
@@ -260,6 +266,7 @@ class _Search:
     def _dfs(self, progress: Dict[int, int], states: List[_PrimState]) -> bool:
         self.nodes += 1
         if self.nodes > MAX_NODES:
+            self.exhausted = True
             return False
         if all(progress[gid] >= len(self.events[gid]) for gid in self.gids):
             return self._check_blocking(states, progress)
@@ -411,6 +418,44 @@ def _wg_delta(op: OpEvent) -> int:
     return 1
 
 
-def solve(system: ConstraintSystem) -> Optional[Solution]:
+@dataclass
+class SolveOutcome:
+    """One decision-procedure invocation, with its effort accounted."""
+
+    solution: Optional[Solution]
+    outcome: str  # SAT | UNSAT | TIMEOUT
+    nodes: int  # interleaving-search states visited
+    clauses: int  # size of the constraint system decided
+
+    @property
+    def sat(self) -> bool:
+        return self.solution is not None
+
+
+def solve_detailed(system: ConstraintSystem, collector=None) -> SolveOutcome:
+    """Decide Φ_R ∧ Φ_B and report the verdict plus solver effort.
+
+    ``collector`` (a :class:`repro.obs.Collector`) receives the
+    ``solver.calls`` / ``solver.sat`` / ``solver.unsat`` /
+    ``solver.timeout`` / ``solver.nodes`` counters.
+    """
+    search = _Search(system)
+    solution = search.run()
+    if solution is not None:
+        outcome = SAT
+    elif search.exhausted:
+        outcome = TIMEOUT
+    else:
+        outcome = UNSAT
+    if collector:
+        collector.count("solver.calls")
+        collector.count(f"solver.{outcome}")
+        collector.count("solver.nodes", search.nodes)
+    return SolveOutcome(
+        solution=solution, outcome=outcome, nodes=search.nodes, clauses=system.clause_count()
+    )
+
+
+def solve(system: ConstraintSystem, collector=None) -> Optional[Solution]:
     """Decide Φ_R ∧ Φ_B; returns a witness Solution or None (UNSAT)."""
-    return _Search(system).run()
+    return solve_detailed(system, collector).solution

@@ -23,7 +23,18 @@ from repro.analysis.dependency import build_dependency_graph, compute_pset
 from repro.analysis.primitives import Primitive, find_primitives
 from repro.analysis.scope import Scope, compute_all_scopes
 from repro.constraints.encoding import StopPoint, encode
-from repro.constraints.solver import solve
+from repro.constraints.solver import solve_detailed
+from repro.obs import (
+    NULL,
+    STAGE_ALIAS,
+    STAGE_CALLGRAPH,
+    STAGE_DEPGRAPH,
+    STAGE_DISENTANGLE,
+    STAGE_ENCODE,
+    STAGE_PATH_ENUM,
+    STAGE_SOLVE,
+    STAGE_SUSPICIOUS,
+)
 from repro.detector.paths import (
     OpEvent,
     PathCombination,
@@ -67,16 +78,22 @@ class BMOCDetector:
         disentangle: bool = True,
         max_loop_unroll: int = 2,
         prune_infeasible: bool = True,
+        collector=None,
     ):
         self.program = program
         self.disentangle = disentangle
         self.max_loop_unroll = max_loop_unroll
         self.prune_infeasible = prune_infeasible
-        self.call_graph = build_call_graph(program)
-        self.alias = run_alias_analysis(program, self.call_graph)
-        self.pmap = find_primitives(program, self.call_graph, self.alias)
-        self.dep_graph = build_dependency_graph(program, self.call_graph, self.pmap)
-        self.scopes = compute_all_scopes(self.pmap, self.call_graph)
+        self.collector = collector or NULL
+        with self.collector.span(STAGE_CALLGRAPH):
+            self.call_graph = build_call_graph(program)
+        with self.collector.span(STAGE_ALIAS):
+            self.alias = run_alias_analysis(program, self.call_graph)
+        with self.collector.span(STAGE_DEPGRAPH):
+            self.pmap = find_primitives(program, self.call_graph, self.alias)
+            self.dep_graph = build_dependency_graph(program, self.call_graph, self.pmap)
+        with self.collector.span(STAGE_DISENTANGLE):
+            self.scopes = compute_all_scopes(self.pmap, self.call_graph)
 
     # -- public ---------------------------------------------------------------
 
@@ -94,14 +111,19 @@ class BMOCDetector:
             reports.extend(self._analyze_channel(channel, stats))
             stats.per_channel_seconds[str(channel.site)] = time.perf_counter() - chan_start
         stats.elapsed_seconds = time.perf_counter() - start
+        if self.collector:
+            self.collector.count("detect.channels", stats.channels_analyzed)
+            self.collector.count("detect.groups", stats.groups_checked)
         return DetectionResult(reports=dedup_reports(reports), stats=stats)
 
     # -- per-channel analysis ----------------------------------------------------
 
     def _analyze_channel(self, channel: Primitive, stats: DetectionStats) -> List[BugReport]:
+        collector = self.collector
         if self.disentangle:
             scope = self.scopes[channel]
-            pset = compute_pset(channel, self.dep_graph, self.scopes)
+            with collector.span(STAGE_DISENTANGLE):
+                pset = compute_pset(channel, self.dep_graph, self.scopes)
             roots = self._roots_for(channel, scope)
             scope_functions = scope.functions
         else:
@@ -111,6 +133,9 @@ class BMOCDetector:
             pset = [p for p in self.pmap if p.site.kind != "ctxdone"]
             scope_functions = set(self.program.functions)
             roots = ["main"] if "main" in self.program.functions else []
+        if collector:
+            collector.observe("pset.size", len(pset))
+            collector.observe("scope.functions", len(scope_functions))
         reports: List[BugReport] = []
         for root in roots:
             enumerator = PathEnumerator(
@@ -122,9 +147,13 @@ class BMOCDetector:
                 scope_functions,
                 max_loop_unroll=self.max_loop_unroll,
                 prune_infeasible=self.prune_infeasible,
+                collector=collector if collector else None,
             )
-            combos = enumerate_combinations(enumerator, root)
+            with collector.span(STAGE_PATH_ENUM):
+                combos = enumerate_combinations(enumerator, root)
             stats.combinations += len(combos)
+            if collector:
+                collector.count("paths.combinations", len(combos))
             for combo in combos:
                 reports.extend(self._check_combination(channel, combo, scope_functions, stats))
         return reports
@@ -142,18 +171,27 @@ class BMOCDetector:
         scope_functions,
         stats: DetectionStats,
     ) -> List[BugReport]:
+        collector = self.collector
         reports: List[BugReport] = []
-        for group in enumerate_groups(combo):
-            if not self._group_targets_channel(group, channel):
-                continue
+        with collector.span(STAGE_SUSPICIOUS):
+            groups = [
+                group
+                for group in enumerate_groups(combo, collector if collector else None)
+                if self._group_targets_channel(group, channel)
+            ]
+        for group in groups:
             stats.groups_checked += 1
-            system = encode(combo, group)
+            with collector.span(STAGE_ENCODE):
+                system = encode(combo, group, collector if collector else None)
             stats.solver_calls += 1
-            solution = solve(system)
-            if solution is None:
+            with collector.span(STAGE_SOLVE):
+                outcome = solve_detailed(system, collector if collector else None)
+            if outcome.solution is None:
                 continue
             stats.sat_results += 1
-            reports.append(self._report(channel, combo, group, solution, scope_functions))
+            reports.append(
+                self._report(channel, combo, group, outcome, scope_functions)
+            )
         return reports
 
     def _group_targets_channel(self, group: List[StopPoint], channel: Primitive) -> bool:
@@ -173,7 +211,7 @@ class BMOCDetector:
         channel: Primitive,
         combo: PathCombination,
         group: List[StopPoint],
-        solution,
+        outcome,
         scope_functions,
     ) -> BugReport:
         blocked: List[BlockedOp] = []
@@ -213,8 +251,11 @@ class BMOCDetector:
             description=description,
             combination=combo,
             stops=list(group),
-            witness=solution,
+            witness=outcome.solution,
             scope_functions=frozenset(scope_functions),
+            clause_count=outcome.clauses,
+            solver_nodes=outcome.nodes,
+            solver_outcome=outcome.outcome,
         )
 
     def _function_of(self, combo: PathCombination, gid: int) -> str:
@@ -229,6 +270,7 @@ def detect_bmoc(
     disentangle: bool = True,
     max_loop_unroll: int = 2,
     prune_infeasible: bool = True,
+    collector=None,
 ) -> DetectionResult:
     """Convenience wrapper: run the BMOC detector over a program."""
     return BMOCDetector(
@@ -236,4 +278,5 @@ def detect_bmoc(
         disentangle=disentangle,
         max_loop_unroll=max_loop_unroll,
         prune_infeasible=prune_infeasible,
+        collector=collector,
     ).detect()

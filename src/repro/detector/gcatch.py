@@ -8,9 +8,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.detector.bmoc import BMOCDetector, DetectionResult
+from repro.obs import NULL, Collector
 from repro.detector.reporting import BugReport, dedup_reports
 from repro.detector.traditional.double_lock import check_double_lock
 from repro.detector.traditional.fatal_goroutine import check_fatal_goroutine
@@ -35,6 +36,9 @@ class GCatchResult:
     bmoc: DetectionResult
     traditional: List[BugReport] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    # the run's observability collector, when detection ran with one; its
+    # stage table carries the per-stage timings behind elapsed_seconds
+    trace: Optional[Collector] = None
 
     def all_reports(self) -> List[BugReport]:
         return list(self.bmoc.reports) + list(self.traditional)
@@ -49,19 +53,32 @@ class GCatchResult:
         return len(self.by_category().get(category, []))
 
 
-def run_gcatch(program: ir.Program, disentangle: bool = True) -> GCatchResult:
-    """Run the complete GCatch pipeline over a lowered program."""
+def run_gcatch(
+    program: ir.Program, disentangle: bool = True, collector: Optional[Collector] = None
+) -> GCatchResult:
+    """Run the complete GCatch pipeline over a lowered program.
+
+    ``collector`` (see :mod:`repro.obs`) receives per-stage spans for every
+    box of the Figure 2 pipeline plus effort counters; the same collector
+    is attached to the returned result as ``.trace``.
+    """
+    obs = collector or NULL
     start = time.perf_counter()
-    bmoc = BMOCDetector(program, disentangle=disentangle)
-    bmoc_result = bmoc.detect()
-    call_graph = bmoc.call_graph
-    alias = bmoc.alias
-    traditional: List[BugReport] = []
-    traditional.extend(check_forget_unlock(program, alias))
-    traditional.extend(check_double_lock(program, alias))
-    traditional.extend(check_lock_order(program, alias))
-    traditional.extend(check_struct_races(program, alias))
-    traditional.extend(check_fatal_goroutine(program, call_graph))
+    with obs.span("gcatch"):
+        bmoc = BMOCDetector(program, disentangle=disentangle, collector=obs)
+        bmoc_result = bmoc.detect()
+        call_graph = bmoc.call_graph
+        alias = bmoc.alias
+        traditional: List[BugReport] = []
+        with obs.span("traditional-checkers"):
+            traditional.extend(check_forget_unlock(program, alias))
+            traditional.extend(check_double_lock(program, alias))
+            traditional.extend(check_lock_order(program, alias))
+            traditional.extend(check_struct_races(program, alias))
+            traditional.extend(check_fatal_goroutine(program, call_graph))
     result = GCatchResult(bmoc=bmoc_result, traditional=dedup_reports(traditional))
     result.elapsed_seconds = time.perf_counter() - start
+    if obs:
+        obs.count("detect.reports", len(result.all_reports()))
+        result.trace = obs
     return result

@@ -179,7 +179,9 @@ class PathEnumerator:
         scope_functions: Set[str],
         max_loop_unroll: int = MAX_LOOP_UNROLL,
         prune_infeasible: bool = True,
+        collector=None,
     ):
+        self.collector = collector
         self.program = program
         self.call_graph = call_graph
         self.alias = alias
@@ -206,8 +208,12 @@ class PathEnumerator:
         self._walk(func, func.entry, 0, [], [], {}, paths, call_stack=(function_name,), deferred=[])
         if not paths:
             paths.append(Path(function_name))
+        enumerated = len(paths)
         if self.prune_infeasible:
             paths = [p for p in paths if conditions_satisfiable(p.branch_events())]
+        if self.collector:
+            self.collector.count("paths.enumerated", enumerated)
+            self.collector.count("paths.infeasible-pruned", enumerated - len(paths))
         return paths[:MAX_PATHS_PER_GOROUTINE]
 
     # -- DFS ------------------------------------------------------------------

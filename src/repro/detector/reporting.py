@@ -41,6 +41,11 @@ class BugReport:
     witness: Optional[Solution] = None
     scope_functions: FrozenSet[str] = frozenset()
     extra_lines: List[int] = field(default_factory=list)
+    # solver effort behind this report (paper Table 6 analogue); zero for
+    # the traditional checkers, which never touch the decision procedure
+    clause_count: int = 0
+    solver_nodes: int = 0
+    solver_outcome: str = ""
 
     @property
     def lines(self) -> List[int]:
@@ -61,6 +66,11 @@ class BugReport:
             parts.append(f"  witness: {self.witness.render()}")
         if self.scope_functions:
             parts.append(f"  scope: {', '.join(sorted(self.scope_functions))}")
+        if self.clause_count:
+            parts.append(
+                f"  solver effort: {self.clause_count} clause(s), "
+                f"{self.solver_nodes} node(s), {self.solver_outcome or '?'}"
+            )
         return "\n".join(parts)
 
 

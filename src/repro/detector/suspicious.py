@@ -40,8 +40,12 @@ def _mutually_unblocking(a: object, b: object) -> bool:
     return False
 
 
-def enumerate_groups(combo: PathCombination) -> Iterator[List[StopPoint]]:
-    """Yield suspicious groups for one path combination."""
+def enumerate_groups(combo: PathCombination, collector=None) -> Iterator[List[StopPoint]]:
+    """Yield suspicious groups for one path combination.
+
+    ``collector`` receives the ``suspicious.groups`` (yielded) and
+    ``suspicious.rejected`` (mutually-unblocking, discarded) counters.
+    """
     per_goroutine: List[List[Optional[object]]] = []
     for goroutine in combo.goroutines:
         choices: List[Optional[object]] = [COMPLETE]
@@ -59,7 +63,11 @@ def enumerate_groups(combo: PathCombination) -> Iterator[List[StopPoint]]:
         if not stops:
             continue
         if _group_invalid(stops):
+            if collector:
+                collector.count("suspicious.rejected")
             continue
+        if collector:
+            collector.count("suspicious.groups")
         yield stops
         produced += 1
         if produced >= MAX_GROUPS_PER_COMBINATION:

@@ -70,6 +70,21 @@ class CaseVerdict:
             self.explanation or ("-" if self.explained else "UNEXPLAINED"),
         ]
 
+    def to_dict(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "static_bug": self.static_bug,
+            "static_reports": self.static_reports,
+            "dynamic": self.dynamic,
+            "classification": self.classification,
+            "explained": self.explained,
+            "explanation": self.explanation,
+            "runs": self.runs,
+            "complete": self.complete,
+            "distinct_outcomes": self.distinct_outcomes,
+            "leak_schedules": self.leak_schedules,
+        }
+
 
 @dataclass
 class DifferentialReport:
@@ -78,6 +93,7 @@ class DifferentialReport:
     verdicts: List[CaseVerdict] = field(default_factory=list)
     max_runs: int = 0
     max_steps: int = 0
+    trace: Optional[object] = None  # the sweep's repro.obs.Collector, if any
 
     def by_class(self, classification: str) -> List[CaseVerdict]:
         return [v for v in self.verdicts if v.classification == classification]
@@ -102,21 +118,40 @@ class DifferentialReport:
 
         return render_differential(self)
 
+    def to_json(self) -> dict:
+        """Machine-readable report (schema shared with ``repro.obs.stats``)."""
+        from repro.obs import SCHEMA, snapshot
+
+        payload: dict = {
+            "schema": SCHEMA,
+            "kind": "diffcheck",
+            "max_runs": self.max_runs,
+            "max_steps": self.max_steps,
+            "agreement_rate": self.agreement_rate,
+            "unexplained": [v.case_id for v in self.unexplained()],
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+        if self.trace:
+            payload["stats"] = snapshot(self.trace)
+        return payload
+
 
 def diff_case(
     case: BugCase,
     max_runs: int = 512,
     max_steps: int = 20_000,
+    collector=None,
 ) -> CaseVerdict:
     """Run both oracles on one corpus case and reconcile their verdicts."""
-    program = build_program(case.source, case.case_id + ".go")
-    static = run_gcatch(program)
+    program = build_program(case.source, case.case_id + ".go", collector=collector)
+    static = run_gcatch(program, collector=collector)
     static_bug = bool(static.bmoc.reports)
     exploration = explore(
         program,
         entry=case.driver or "main",
         max_runs=max_runs,
         max_steps=max_steps,
+        collector=collector,
     )
     return _classify(case, static_bug, len(static.bmoc.reports), exploration)
 
@@ -178,9 +213,14 @@ def run_diffcheck(
     cases: Optional[Sequence[BugCase]] = None,
     max_runs: int = 512,
     max_steps: int = 20_000,
+    collector=None,
 ) -> DifferentialReport:
     """Diff the two oracles over the whole corpus (or a subset)."""
     report = DifferentialReport(max_runs=max_runs, max_steps=max_steps)
     for case in cases if cases is not None else build_bug_set():
-        report.verdicts.append(diff_case(case, max_runs=max_runs, max_steps=max_steps))
+        report.verdicts.append(
+            diff_case(case, max_runs=max_runs, max_steps=max_steps, collector=collector)
+        )
+    if collector:
+        report.trace = collector
     return report

@@ -17,6 +17,7 @@ from repro.analysis.alias import run_alias_analysis
 from repro.analysis.callgraph import build_call_graph
 from repro.detector.reporting import BugReport
 from repro.fixer.patch import Patch
+from repro.obs import NULL, Collector
 from repro.fixer.safety import REASON_NO_PATTERN, BugShape, analyze_shape
 from repro.fixer.strategy_buffer import try_strategy_buffer
 from repro.fixer.strategy_defer import try_strategy_defer
@@ -46,6 +47,8 @@ class FixResult:
 @dataclass
 class GFixSummary:
     results: List[FixResult] = field(default_factory=list)
+    # the run's observability collector, when fixing ran with one
+    trace: Optional[Collector] = None
 
     def fixed(self) -> List[FixResult]:
         return [r for r in self.results if r.fixed]
@@ -66,50 +69,77 @@ class GFixSummary:
 class GFix:
     """Automated patch synthesis for BMOC bugs detected by GCatch."""
 
-    def __init__(self, program: ir.Program, source: str):
+    def __init__(self, program: ir.Program, source: str, collector: Optional[Collector] = None):
         start = time.perf_counter()
         self.program = program
         self.source = source
+        self.collector = collector or NULL
         # preprocessing mirrors the paper's: SSA conversion happened in the
         # builder; here the call graph and alias analysis are (re)computed
-        self.call_graph = build_call_graph(program)
-        self.alias = run_alias_analysis(program, self.call_graph)
+        with self.collector.span("fix-preprocess"):
+            self.call_graph = build_call_graph(program)
+            self.alias = run_alias_analysis(program, self.call_graph)
         self.preprocess_seconds = time.perf_counter() - start
 
     def fix(self, report: BugReport) -> FixResult:
         """Classify the bug and attempt Strategies I → II → III."""
         start = time.perf_counter()
         result = FixResult(report=report, preprocess_seconds=self.preprocess_seconds)
-        if report.category != "bmoc-chan" or report.primitive is None:
-            result.reason = "GFix only fixes channel-only BMOC bugs"
-            result.transform_seconds = time.perf_counter() - start
-            return result
-        shape = analyze_shape(self.program, report)
-        if shape.reject_reason is not None:
-            result.reason = shape.reject_reason
-            result.transform_seconds = time.perf_counter() - start
-            return result
-        patch = self._attempt(shape)
+        with self.collector.span("fix-transform"):
+            if report.category != "bmoc-chan" or report.primitive is None:
+                result.reason = "GFix only fixes channel-only BMOC bugs"
+                result.transform_seconds = time.perf_counter() - start
+                return result
+            shape = analyze_shape(self.program, report)
+            if shape.reject_reason is not None:
+                result.reason = shape.reject_reason
+                result.transform_seconds = time.perf_counter() - start
+                if self.collector:
+                    self.collector.count("fix.rejected")
+                return result
+            patch = self._attempt(shape)
         if patch is not None:
             result.patch = patch
         else:
             result.reason = shape.reject_reason or REASON_NO_PATTERN
+            if self.collector:
+                self.collector.count("fix.unfixed")
         result.transform_seconds = time.perf_counter() - start
         return result
 
     def fix_all(self, reports: List[BugReport]) -> GFixSummary:
-        return GFixSummary(results=[self.fix(report) for report in reports])
+        summary = GFixSummary(results=[self.fix(report) for report in reports])
+        if self.collector:
+            summary.trace = self.collector
+        return summary
+
+    # strategy order is the paper's: I (buffer) → II (defer) → III (stop)
+    _STRATEGIES = (
+        ("buffer", lambda self, shape: try_strategy_buffer(self.program, self.source, shape)),
+        ("defer", lambda self, shape: try_strategy_defer(self.program, self.source, shape)),
+        (
+            "stop",
+            lambda self, shape: try_strategy_stop(
+                self.program, self.source, shape, alias=self.alias
+            ),
+        ),
+    )
 
     def _attempt(self, shape: BugShape) -> Optional[Patch]:
-        patch = try_strategy_buffer(self.program, self.source, shape)
-        if patch is not None:
-            return patch
-        patch = try_strategy_defer(self.program, self.source, shape)
-        if patch is not None:
-            return patch
-        return try_strategy_stop(self.program, self.source, shape, alias=self.alias)
+        collector = self.collector
+        for name, attempt in self._STRATEGIES:
+            if collector:
+                collector.count(f"fix.attempt.{name}")
+            patch = attempt(self, shape)
+            if patch is not None:
+                if collector:
+                    collector.count(f"fix.fixed.{name}")
+                return patch
+        return None
 
 
-def fix_bugs(program: ir.Program, source: str, reports: List[BugReport]) -> GFixSummary:
+def fix_bugs(
+    program: ir.Program, source: str, reports: List[BugReport], collector=None
+) -> GFixSummary:
     """Convenience wrapper: run GFix on a batch of detected bugs."""
-    return GFix(program, source).fix_all(reports)
+    return GFix(program, source, collector=collector).fix_all(reports)

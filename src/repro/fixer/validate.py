@@ -82,13 +82,19 @@ def validate_patch(
     seeds: int = 25,
     max_steps: int = 50_000,
     max_runs: int = 512,
+    collector=None,
 ) -> PatchValidation:
     """Run the three-check validation for one GFix patch.
 
     Dynamic checks use exhaustive schedule exploration bounded by
     ``max_runs``; ``seeds`` only matters when that bound is exceeded and
-    validation degrades to seeded sampling.
+    validation degrades to seeded sampling. ``collector`` (a
+    :class:`repro.obs.Collector`) receives a ``validate`` span plus the
+    sample counters.
     """
+    from repro.obs import NULL
+
+    obs = collector or NULL
     if fix.patch is None:
         raise ValueError("fix produced no patch to validate")
     patched_source = fix.patch.apply()
@@ -96,24 +102,34 @@ def validate_patch(
     patched = build_program(patched_source, "patched.go")
 
     validation = PatchValidation(entry=entry)
-    validation.static_clean = _static_clean(patched, fix)
+    with obs.span("validate"):
+        validation.static_clean = _static_clean(patched, fix)
 
-    patched_exp = explore(patched, entry=entry, max_runs=max_runs, max_steps=max_steps)
-    original_exp = explore(original, entry=entry, max_runs=max_runs, max_steps=max_steps)
-    if patched_exp.complete and original_exp.complete:
-        _check_exhaustive(validation, original_exp, patched_exp)
-    else:
-        which = "patched" if not patched_exp.complete else "original"
-        logger.warning(
-            "schedule space of the %s program exceeds the exploration bound "
-            "(%d runs); falling back to %d seeded schedules for entry %r",
-            which,
-            max_runs,
-            seeds,
-            entry,
+        patched_exp = explore(
+            patched, entry=entry, max_runs=max_runs, max_steps=max_steps, collector=collector
         )
-        validation.fallback = True
-        _check_sampled(validation, original, patched, entry, seeds, max_steps)
+        original_exp = explore(
+            original, entry=entry, max_runs=max_runs, max_steps=max_steps, collector=collector
+        )
+        if patched_exp.complete and original_exp.complete:
+            _check_exhaustive(validation, original_exp, patched_exp)
+        else:
+            which = "patched" if not patched_exp.complete else "original"
+            logger.warning(
+                "schedule space of the %s program exceeds the exploration bound "
+                "(%d runs); falling back to %d seeded schedules for entry %r",
+                which,
+                max_runs,
+                seeds,
+                entry,
+            )
+            validation.fallback = True
+            _check_sampled(validation, original, patched, entry, seeds, max_steps)
+    if obs:
+        obs.count("validate.patches")
+        obs.count("validate.samples", validation.schedules_run)
+        obs.count("validate.fallback" if validation.fallback else "validate.exhaustive")
+        obs.count("validate.mismatches", len(validation.semantics_mismatches))
     return validation
 
 

@@ -1,0 +1,49 @@
+"""repro.obs — pipeline-wide tracing, metrics and profiling.
+
+See :mod:`repro.obs.collector` for the Span/Collector model and
+:mod:`repro.obs.stats` for the JSON schema and renderers.
+"""
+
+from repro.obs.collector import (
+    NULL,
+    PIPELINE_STAGES,
+    STAGE_ALIAS,
+    STAGE_CALLGRAPH,
+    STAGE_DEPGRAPH,
+    STAGE_DISENTANGLE,
+    STAGE_ENCODE,
+    STAGE_PARSE,
+    STAGE_PATH_ENUM,
+    STAGE_SOLVE,
+    STAGE_SSA,
+    STAGE_SUSPICIOUS,
+    Collector,
+    Dist,
+    NullCollector,
+    Span,
+)
+from repro.obs.stats import SCHEMA, json_dumps, load, render_stats, snapshot
+
+__all__ = [
+    "NULL",
+    "PIPELINE_STAGES",
+    "STAGE_ALIAS",
+    "STAGE_CALLGRAPH",
+    "STAGE_DEPGRAPH",
+    "STAGE_DISENTANGLE",
+    "STAGE_ENCODE",
+    "STAGE_PARSE",
+    "STAGE_PATH_ENUM",
+    "STAGE_SOLVE",
+    "STAGE_SSA",
+    "STAGE_SUSPICIOUS",
+    "Collector",
+    "Dist",
+    "NullCollector",
+    "Span",
+    "SCHEMA",
+    "json_dumps",
+    "load",
+    "render_stats",
+    "snapshot",
+]

@@ -1,0 +1,269 @@
+"""Run-scoped tracing and metrics for the GCatch/GFix pipeline.
+
+The paper's evaluation is built on *measured* pipeline behaviour —
+per-stage detection time (§5.2), constraint-system sizes before/after
+disentangling, solver effort per bug. This module is the substrate those
+measurements flow through:
+
+* a :class:`Span` tree records wall-clock timing for each pipeline stage
+  (``parse`` → ``ssa-build`` → ... → ``solve``); spans nest, and repeated
+  entries of the same stage (one per channel, say) aggregate into a single
+  per-stage total;
+* typed counters, gauges and distributions record discrete effort: paths
+  enumerated, path combinations, Pset sizes, constraint clause counts,
+  solver outcomes, explorer runs/backtracks/prunes, fixer strategy
+  attempts, validation samples;
+* one :class:`Collector` is shared by every layer of a run —
+  ``api.Project``, ``run_gcatch``, the explorer, the fixer and the patch
+  validator all report into it.
+
+Observability is off by default: every instrumented call site either
+receives :data:`NULL` (a :class:`NullCollector` whose methods are no-ops
+and whose truth value is ``False``) or ``collector=None``, so the hot path
+pays a single truthiness check. ``benchmarks/test_bench_obs_overhead.py``
+asserts the end-to-end cost of the layer stays within 5%.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+# Pipeline stage names — one per box of the paper's Figure 2 pipeline.
+# DESIGN.md maps each to the section of the paper that describes it.
+STAGE_PARSE = "parse"
+STAGE_SSA = "ssa-build"
+STAGE_CALLGRAPH = "callgraph"
+STAGE_ALIAS = "alias"
+STAGE_DEPGRAPH = "depgraph"
+STAGE_DISENTANGLE = "disentangle"
+STAGE_PATH_ENUM = "path-enum"
+STAGE_SUSPICIOUS = "suspicious-groups"
+STAGE_ENCODE = "encode"
+STAGE_SOLVE = "solve"
+
+#: every GCatch stage, in pipeline order; a full ``Project.detect`` trace
+#: contains each of these exactly once in its aggregated stage table
+PIPELINE_STAGES: Tuple[str, ...] = (
+    STAGE_PARSE,
+    STAGE_SSA,
+    STAGE_CALLGRAPH,
+    STAGE_ALIAS,
+    STAGE_DEPGRAPH,
+    STAGE_DISENTANGLE,
+    STAGE_PATH_ENUM,
+    STAGE_SUSPICIOUS,
+    STAGE_ENCODE,
+    STAGE_SOLVE,
+)
+
+
+@dataclass
+class Span:
+    """One timed region; spans form a tree via ``children``."""
+
+    name: str
+    start: float = 0.0
+    end: Optional[float] = None
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        if self.end is None:
+            return time.perf_counter() - self.start
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "seconds": self.seconds}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        span = cls(name=payload["name"], start=0.0, end=payload["seconds"])
+        span.children = [cls.from_dict(c) for c in payload.get("children", ())]
+        return span
+
+    # -- context-manager protocol (entered via Collector.span) ------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+@dataclass
+class Dist:
+    """A value distribution: count / total / min / max (e.g. Pset sizes)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _SpanHandle:
+    """Context manager that closes a span and pops the collector's stack."""
+
+    __slots__ = ("_collector", "_span")
+
+    def __init__(self, collector: "Collector", span: Span):
+        self._collector = collector
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._collector._close_span(self._span)
+
+
+class Collector:
+    """Aggregates one run's spans, counters, gauges and distributions.
+
+    Counter updates are lock-protected so results funnelled in from many
+    explorer-spawned runs (or threads) aggregate safely; the span stack is
+    per-instance and assumes the usual single-threaded ``with`` nesting.
+    """
+
+    def __init__(self, name: str = "run"):
+        self.name = name
+        self.spans: List[Span] = []  # completed top-level spans, in order
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.dists: Dict[str, Dist] = {}
+        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str) -> _SpanHandle:
+        span = Span(name=name, start=time.perf_counter())
+        self._stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _close_span(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        # unwind to the matching span so a leaked inner handle can't corrupt
+        # the stack shape
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+
+    def stage_totals(self) -> Dict[str, Tuple[int, float]]:
+        """Aggregate the span tree: name -> (times entered, total seconds)."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        for root in self.spans:
+            for span in root.walk():
+                count, seconds = totals.get(span.name, (0, 0.0))
+                totals[span.name] = (count + 1, seconds + span.seconds)
+        return totals
+
+    def span_names(self) -> List[str]:
+        return list(self.stage_totals())
+
+    # -- metrics -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            dist = self.dists.get(name)
+            if dist is None:
+                dist = self.dists[name] = Dist()
+            dist.add(value)
+
+    # -- aggregation across collectors -------------------------------------
+
+    def merge(self, other: "Collector") -> None:
+        """Fold another collector's data into this one (counters add,
+        gauges last-write-wins, spans concatenate)."""
+        with self._lock:
+            for name, n in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + n
+            self.gauges.update(other.gauges)
+            for name, dist in other.dists.items():
+                mine = self.dists.get(name)
+                if mine is None:
+                    mine = self.dists[name] = Dist()
+                mine.count += dist.count
+                mine.total += dist.total
+                for bound in (dist.min, dist.max):
+                    if bound is None:
+                        continue
+                    mine.min = bound if mine.min is None else min(mine.min, bound)
+                    mine.max = bound if mine.max is None else max(mine.max, bound)
+            self.spans.extend(other.spans)
+
+
+class NullCollector(Collector):
+    """The default when observability is off: every method is a no-op and
+    the instance is falsy, so guarded call sites skip all bookkeeping."""
+
+    _NOOP_SPAN = Span(name="noop", start=0.0, end=0.0)
+
+    def __init__(self):
+        super().__init__(name="null")
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str) -> Span:  # type: ignore[override]
+        return self._NOOP_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge(self, other: Collector) -> None:
+        pass
+
+
+#: shared no-op collector; ``collector or NULL`` normalizes optional params
+NULL = NullCollector()

@@ -1,0 +1,122 @@
+"""Machine-readable stats emission and human-readable rendering.
+
+One JSON schema (``repro.obs/1``) serves every surface that exports
+numbers: ``repro stats --json``, ``repro explore --json``,
+``repro diffcheck --json`` and the ``benchmarks/`` per-stage recordings
+all emit through :func:`json_dumps`, and a :class:`Collector` snapshot
+round-trips losslessly through :func:`snapshot` / :func:`load`.
+
+Schema (top-level keys of a collector snapshot)::
+
+    {
+      "schema":   "repro.obs/1",
+      "name":     "<run label>",
+      "stages":   [{"name": str, "count": int, "seconds": float}, ...],
+      "counters": {str: int, ...},
+      "gauges":   {str: float, ...},
+      "distributions": {str: {"count": int, "total": float,
+                              "min": float|null, "max": float|null}, ...},
+      "spans":    [<span tree: {"name", "seconds", "children"?}>, ...]
+    }
+
+``stages`` is the aggregated per-stage table — pipeline stages first, in
+pipeline order, then any extra span names in first-seen order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.obs.collector import PIPELINE_STAGES, Collector, Span
+
+SCHEMA = "repro.obs/1"
+
+
+def json_dumps(payload: object) -> str:
+    """The one JSON emitter: stable key order, indented, ASCII-safe."""
+    return json.dumps(payload, indent=2, sort_keys=False, default=str)
+
+
+def snapshot(collector: Collector, extra: Optional[dict] = None) -> dict:
+    """Freeze a collector into the documented JSON-serializable schema."""
+    totals = collector.stage_totals()
+    ordered = [name for name in PIPELINE_STAGES if name in totals]
+    ordered += [name for name in totals if name not in PIPELINE_STAGES]
+    payload = {
+        "schema": SCHEMA,
+        "name": collector.name,
+        "stages": [
+            {"name": name, "count": totals[name][0], "seconds": totals[name][1]}
+            for name in ordered
+        ],
+        "counters": dict(sorted(collector.counters.items())),
+        "gauges": dict(sorted(collector.gauges.items())),
+        "distributions": {
+            name: dist.to_dict() for name, dist in sorted(collector.dists.items())
+        },
+        "spans": [span.to_dict() for span in collector.spans],
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def load(payload: dict) -> Collector:
+    """Rebuild a collector from a snapshot (inverse of :func:`snapshot`).
+
+    Timings are preserved exactly: ``snapshot(load(s)) == s`` for any
+    snapshot ``s`` (modulo the keys ``extra`` injected).
+    """
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported stats schema: {payload.get('schema')!r}")
+    collector = Collector(name=payload.get("name", "run"))
+    collector.spans = [Span.from_dict(s) for s in payload.get("spans", ())]
+    collector.counters = {k: int(v) for k, v in payload.get("counters", {}).items()}
+    collector.gauges = {k: float(v) for k, v in payload.get("gauges", {}).items()}
+    for name, d in payload.get("distributions", {}).items():
+        collector.observe(name, 0)
+        dist = collector.dists[name]
+        dist.count = int(d["count"])
+        dist.total = float(d["total"])
+        dist.min = None if d["min"] is None else float(d["min"])
+        dist.max = None if d["max"] is None else float(d["max"])
+    return collector
+
+
+def render_stats(collector: Collector, title: str = "pipeline stages") -> str:
+    """The per-stage table plus counters/gauges/distributions, as text."""
+    from repro.report.table import render_simple
+
+    totals = collector.stage_totals()
+    ordered = [name for name in PIPELINE_STAGES if name in totals]
+    ordered += [name for name in totals if name not in PIPELINE_STAGES]
+    rows: List[List[str]] = [
+        [name, str(totals[name][0]), f"{totals[name][1] * 1000:.3f}"] for name in ordered
+    ]
+    blocks = [render_simple(["stage", "entries", "total ms"], rows, title=title)]
+    if collector.counters:
+        blocks.append(
+            render_simple(
+                ["counter", "value"],
+                [[k, str(v)] for k, v in sorted(collector.counters.items())],
+            )
+        )
+    if collector.gauges:
+        blocks.append(
+            render_simple(
+                ["gauge", "value"],
+                [[k, str(v)] for k, v in sorted(collector.gauges.items())],
+            )
+        )
+    if collector.dists:
+        blocks.append(
+            render_simple(
+                ["distribution", "count", "mean", "min", "max"],
+                [
+                    [k, str(d.count), f"{d.mean:.2f}", str(d.min), str(d.max)]
+                    for k, d in sorted(collector.dists.items())
+                ],
+            )
+        )
+    return "\n\n".join(blocks)

@@ -51,6 +51,24 @@ def render_table(rows: List[Dict[str, str]], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_bug_costs(reports, title: str = "Per-bug solver effort (Table 6 analogue)") -> str:
+    """One row per BugReport: where it blocks plus the decision-procedure
+    cost behind it (clause count, search nodes, outcome)."""
+    rows = []
+    for report in reports:
+        where = "; ".join(str(op) for op in report.blocked_ops) or report.description
+        rows.append(
+            [
+                report.category,
+                where,
+                plain(report.clause_count),
+                plain(report.solver_nodes),
+                report.solver_outcome or "-",
+            ]
+        )
+    return render_simple(["category", "bug", "clauses", "nodes", "outcome"], rows, title=title)
+
+
 def render_simple(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
     widths = [
         max(len(headers[i]), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])

@@ -437,9 +437,11 @@ class Exploration:
     runs: int = 0
     pruned_runs: int = 0
     step_limited_runs: int = 0
+    backtracks: int = 0  # alternative prefixes scheduled for exploration
     complete: bool = True  # False whenever any bound truncated the search
     outcomes: List[ExecutionResult] = field(default_factory=list)
     _signatures: Dict[tuple, ExecutionResult] = field(default_factory=dict)
+    trace: Optional[Any] = None  # the run's repro.obs.Collector, if any
 
     def record(self, result: ExecutionResult) -> bool:
         signature = outcome_signature(result)
@@ -482,6 +484,44 @@ class Exploration:
                 lines.append(f"  {kind}: {where or sorted(set(result.deadlock_lines))}")
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        """Machine-readable summary (schema shared with ``repro.obs.stats``)."""
+        from repro.obs import SCHEMA, snapshot
+
+        payload: dict = {
+            "schema": SCHEMA,
+            "kind": "exploration",
+            "entry": self.entry,
+            "runs": self.runs,
+            "pruned_runs": self.pruned_runs,
+            "step_limited_runs": self.step_limited_runs,
+            "backtracks": self.backtracks,
+            "complete": self.complete,
+            "any_leak": self.any_leak,
+            "outcomes": [
+                {
+                    "blocked_forever": o.blocked_forever,
+                    "global_deadlock": o.global_deadlock,
+                    "panicked": o.panicked,
+                    "test_failed": o.test_failed,
+                    "output": list(o.output),
+                    "leaked": [
+                        {
+                            "function": l.function,
+                            "line": l.blocked_line,
+                            "kind": l.blocked_kind,
+                        }
+                        for l in o.leaked
+                    ],
+                    "choices": len(o.choice_trace),
+                }
+                for o in self.outcomes
+            ],
+        }
+        if self.trace:
+            payload["stats"] = snapshot(self.trace)
+        return payload
+
 
 def explore(
     program: ir.Program,
@@ -492,50 +532,71 @@ def explore(
     max_steps: int = 20_000,
     prune: bool = True,
     args: Optional[List[Any]] = None,
+    collector=None,
 ) -> Exploration:
     """Depth-first enumerate schedules of ``entry`` up to the given bounds.
 
     Returns an :class:`Exploration`; ``complete`` is True only when every
     interleaving (modulo commutation of independent steps) was covered.
+    ``collector`` (a :class:`repro.obs.Collector`) receives an ``explore``
+    span plus run/backtrack/prune counters, aggregated across every
+    program execution the search performs.
     """
+    from repro.obs import NULL
+
+    obs = collector or NULL
     bounds = _Bounds(max_branch=max_branch, preemption_bound=preemption_bound, prune=prune)
     exploration = Exploration(entry=entry)
     stack: List[_WorkItem] = [_WorkItem(prefix=[], sleep={})]
-    while stack:
-        if exploration.runs >= max_runs:
-            exploration.complete = False
-            break
-        item = stack.pop()
-        policy = _DirectedPolicy(item.prefix, item.sleep, bounds)
-        try:
-            result: Optional[ExecutionResult] = run_program(
-                program,
-                entry=entry,
-                seed=exploration.runs,
-                max_steps=max_steps,
-                args=args,
-                policy=policy,
-            )
-        except _PrunedRun:
-            result = None
-            exploration.pruned_runs += 1
-        exploration.runs += 1
-        if result is not None:
-            exploration.record(result)
-            if result.hit_step_limit:
-                exploration.step_limited_runs += 1
+    with obs.span("explore"):
+        while stack:
+            if exploration.runs >= max_runs:
                 exploration.complete = False
-        if policy.truncated:
-            exploration.complete = False
-        for bp in policy.branch_points:
-            base = list(policy.trace[: bp.pos])
-            for j in range(1, len(bp.candidates)):
-                stack.append(
-                    _WorkItem(
-                        prefix=base + [Choice(bp.kind, bp.options, bp.candidates[j])],
-                        sleep=_sibling_sleep(bp, j),
-                    )
+                break
+            item = stack.pop()
+            policy = _DirectedPolicy(item.prefix, item.sleep, bounds)
+            try:
+                result: Optional[ExecutionResult] = run_program(
+                    program,
+                    entry=entry,
+                    seed=exploration.runs,
+                    max_steps=max_steps,
+                    args=args,
+                    policy=policy,
+                    collector=collector,
                 )
+            except _PrunedRun:
+                result = None
+                exploration.pruned_runs += 1
+                if obs:
+                    obs.count("explore.sleep-prunes")
+            exploration.runs += 1
+            if obs:
+                obs.count("explore.runs")
+            if result is not None:
+                exploration.record(result)
+                if result.hit_step_limit:
+                    exploration.step_limited_runs += 1
+                    exploration.complete = False
+                    if obs:
+                        obs.count("explore.step-limited")
+            if policy.truncated:
+                exploration.complete = False
+            for bp in policy.branch_points:
+                base = list(policy.trace[: bp.pos])
+                for j in range(1, len(bp.candidates)):
+                    exploration.backtracks += 1
+                    stack.append(
+                        _WorkItem(
+                            prefix=base + [Choice(bp.kind, bp.options, bp.candidates[j])],
+                            sleep=_sibling_sleep(bp, j),
+                        )
+                    )
+    if obs:
+        obs.count("explore.backtracks", exploration.backtracks)
+        obs.count("explore.outcomes", len(exploration.outcomes))
+        obs.count("explore.leaking", len(exploration.leaking()))
+        exploration.trace = obs
     return exploration
 
 

@@ -127,10 +127,12 @@ class Interpreter:
         program: ir.Program,
         rng: random.Random,
         policy: Optional[ChoicePolicy] = None,
+        collector=None,
     ):
         self.program = program
         self.rng = rng
         self.policy = policy if policy is not None else RandomPolicy(rng)
+        self.collector = collector  # repro.obs.Collector | None (hot path: one check)
         self.goroutines: Dict[int, Goroutine] = {}
         self._next_gid = 0
         self.clock = 0
@@ -146,6 +148,8 @@ class Interpreter:
         self._next_gid += 1
         goroutine = Goroutine(gid, Frame(func, env))
         self.goroutines[gid] = goroutine
+        if self.collector is not None:
+            self.collector.count("run.goroutines")
         return goroutine
 
     def parked(self, kind: str, obj: Any) -> List[Goroutine]:

@@ -103,18 +103,21 @@ def run_program(
     arg_kinds: Optional[Dict[str, str]] = None,
     args: Optional[List[Any]] = None,
     policy: Optional[ChoicePolicy] = None,
+    collector=None,
 ) -> ExecutionResult:
     """Execute ``entry`` under one schedule.
 
     Without an explicit ``policy`` the schedule is drawn from a seeded RNG
     (the paper's random-sleep-style sampling); passing a policy lets the
     replayer and the systematic explorer drive the very same loop.
+    ``collector`` (a :class:`repro.obs.Collector`) receives run counters;
+    when ``None`` the scheduling loop pays no instrumentation cost.
     """
     reset_runtime_ids()
     rng = random.Random(seed)
     if policy is None:
         policy = RandomPolicy(rng)
-    interp = Interpreter(program, rng, policy=policy)
+    interp = Interpreter(program, rng, policy=policy, collector=collector)
     entry_func = program.functions.get(entry)
     if entry_func is None:
         raise KeyError(f"no entry function {entry!r}")
@@ -153,6 +156,13 @@ def run_program(
 
     _collect(interp, main, result, steps)
     result.choice_trace = list(policy.trace)
+    if collector:
+        collector.count("run.programs")
+        collector.count("run.steps", result.steps)
+        if result.blocked_forever:
+            collector.count("run.blocked")
+        if result.panicked:
+            collector.count("run.panics")
     return result
 
 
@@ -224,10 +234,13 @@ def explore_schedules(
     seeds: int = 20,
     max_steps: int = 100_000,
     args: Optional[List[Any]] = None,
+    collector=None,
 ) -> List[ExecutionResult]:
     """Run many seeds, mimicking the paper's random-sleep stress validation."""
     return [
-        run_program(program, entry=entry, seed=seed, max_steps=max_steps, args=args)
+        run_program(
+            program, entry=entry, seed=seed, max_steps=max_steps, args=args, collector=collector
+        )
         for seed in range(seeds)
     ]
 
@@ -243,6 +256,7 @@ def replay_trace(
     seed: int = 0,
     max_steps: int = 100_000,
     args: Optional[List[Any]] = None,
+    collector=None,
 ) -> ExecutionResult:
     """Re-execute a recorded choice trace; the result is bit-identical.
 
@@ -250,11 +264,16 @@ def replay_trace(
     replay); pass the original run's seed to make the dataclasses compare
     equal field-for-field.
     """
-    return run_program(
+    result = run_program(
         program,
         entry=entry,
         seed=seed,
         max_steps=max_steps,
         args=args,
         policy=ReplayPolicy(trace),
+        collector=collector,
     )
+    if collector:
+        collector.count("replay.runs")
+        collector.count("replay.steps", result.steps)
+    return result

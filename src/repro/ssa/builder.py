@@ -965,7 +965,16 @@ class ModuleBuilder:
         return func
 
 
-def build_program(source: str, filename: str = "<minigo>") -> ir.Program:
-    """Parse and lower MiniGo ``source`` into an IR :class:`Program`."""
-    file = parse_file(source, filename)
-    return ModuleBuilder(file).build()
+def build_program(source: str, filename: str = "<minigo>", collector=None) -> ir.Program:
+    """Parse and lower MiniGo ``source`` into an IR :class:`Program`.
+
+    ``collector`` (a :class:`repro.obs.Collector`) receives the ``parse``
+    and ``ssa-build`` stage spans of the pipeline trace.
+    """
+    from repro.obs import NULL, STAGE_PARSE, STAGE_SSA
+
+    obs = collector or NULL
+    with obs.span(STAGE_PARSE):
+        file = parse_file(source, filename)
+    with obs.span(STAGE_SSA):
+        return ModuleBuilder(file).build()

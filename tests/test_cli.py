@@ -130,3 +130,66 @@ class TestCorpusCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "bbolt" in out and "Total" in out
+
+
+class TestObservabilityFlags:
+    def test_detect_trace_appends_stage_table(self, buggy_file, capsys):
+        code = main(["detect", "--trace", buggy_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Per-bug solver effort" in out
+        for stage in ("parse", "ssa-build", "path-enum", "solve"):
+            assert stage in out
+
+    def test_fix_trace_shows_gfix_phases(self, buggy_file, capsys):
+        code = main(["fix", "--trace", buggy_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fix-preprocess" in out and "fix-transform" in out
+
+    def test_explore_json(self, buggy_file, capsys):
+        import json
+
+        code = main(["explore", "--json", buggy_file])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["schema"] == "repro.obs/1"
+        assert payload["kind"] == "exploration"
+        assert payload["runs"] > 0 and payload["any_leak"]
+
+    def test_diffcheck_json_with_case_subset(self, capsys):
+        import json
+
+        code = main(["diffcheck", "--json", "--cases", "Set00", "--max-runs", "32"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["kind"] == "diffcheck"
+        assert [v["case_id"] for v in payload["verdicts"]] == ["Set00"]
+
+    def test_diffcheck_unknown_case_prefix(self, capsys):
+        code = main(["diffcheck", "--cases", "NoSuchCase"])
+        assert code == 2
+        assert "no corpus cases match" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_full_pipeline_table(self, buggy_file, capsys):
+        code = main(["stats", buggy_file, "--max-runs", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1/1 fixed" in out
+        for stage in ("disentangle", "encode", "solve", "explore"):
+            assert stage in out
+
+    def test_json_schema(self, buggy_file, capsys):
+        import json
+
+        from repro.obs import PIPELINE_STAGES
+
+        code = main(["stats", buggy_file, "--json", "--max-runs", "64"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["schema"] == "repro.obs/1"
+        stage_names = {s["name"] for s in payload["stages"]}
+        assert set(PIPELINE_STAGES) <= stage_names
+        assert payload["reports"] >= 1 and payload["fixed"] == 1

@@ -1,0 +1,233 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers span nesting and timing monotonicity, counter aggregation across
+goroutine-spawning explorer runs, JSON schema round-tripping, and — the
+acceptance criterion — a full ``Project.detect`` trace containing every
+pipeline stage exactly once in the aggregated stage table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.api import Project
+from repro.corpus.snippets import FIGURE1
+from repro.obs import (
+    NULL,
+    PIPELINE_STAGES,
+    SCHEMA,
+    Collector,
+    Dist,
+    NullCollector,
+    Span,
+    json_dumps,
+    load,
+    render_stats,
+    snapshot,
+)
+
+
+# -- spans -------------------------------------------------------------------
+
+
+def test_span_nesting_builds_a_tree():
+    c = Collector()
+    with c.span("outer"):
+        with c.span("inner-a"):
+            pass
+        with c.span("inner-b"):
+            with c.span("leaf"):
+                pass
+    assert len(c.spans) == 1
+    outer = c.spans[0]
+    assert outer.name == "outer"
+    assert [child.name for child in outer.children] == ["inner-a", "inner-b"]
+    assert [g.name for g in outer.children[1].children] == ["leaf"]
+    assert [s.name for s in outer.walk()] == ["outer", "inner-a", "inner-b", "leaf"]
+
+
+def test_span_timing_is_monotone():
+    c = Collector()
+    with c.span("outer"):
+        with c.span("inner"):
+            time.sleep(0.002)
+    outer = c.spans[0]
+    inner = outer.children[0]
+    assert inner.seconds > 0
+    # a parent encloses its children, so it can never be cheaper
+    assert outer.seconds >= inner.seconds
+    assert outer.end is not None and outer.end >= outer.start
+
+
+def test_stage_totals_aggregate_repeated_entries():
+    c = Collector()
+    for _ in range(3):
+        with c.span("solve"):
+            pass
+    totals = c.stage_totals()
+    assert totals["solve"][0] == 3
+    assert totals["solve"][1] >= 0.0
+
+
+def test_leaked_inner_span_cannot_corrupt_the_stack():
+    c = Collector()
+    outer = c.span("outer")
+    inner = c.span("inner")  # never closed explicitly
+    outer.__exit__()
+    assert [s.name for s in c.spans] == ["outer"]
+    assert c._stack == []
+
+
+# -- counters / gauges / distributions ---------------------------------------
+
+
+def test_counters_accumulate_and_gauges_overwrite():
+    c = Collector()
+    c.count("x")
+    c.count("x", 4)
+    c.gauge("g", 1.0)
+    c.gauge("g", 7.5)
+    assert c.counters["x"] == 5
+    assert c.gauges["g"] == 7.5
+
+
+def test_distributions_track_count_mean_min_max():
+    d = Dist()
+    for v in (4, 2, 6):
+        d.add(v)
+    assert (d.count, d.total, d.min, d.max) == (3, 12, 2, 6)
+    assert d.mean == 4
+
+
+def test_merge_folds_counters_spans_and_dists():
+    a, b = Collector("a"), Collector("b")
+    a.count("n", 1)
+    b.count("n", 2)
+    b.observe("sz", 10)
+    a.observe("sz", 2)
+    with b.span("solve"):
+        pass
+    a.merge(b)
+    assert a.counters["n"] == 3
+    assert a.dists["sz"].count == 2
+    assert a.dists["sz"].min == 2 and a.dists["sz"].max == 10
+    assert "solve" in a.stage_totals()
+
+
+# -- the no-op default -------------------------------------------------------
+
+
+def test_null_collector_is_falsy_and_inert():
+    assert not NULL
+    assert isinstance(NULL, NullCollector)
+    with NULL.span("anything"):
+        pass
+    NULL.count("x")
+    NULL.gauge("g", 1)
+    NULL.observe("d", 1)
+    assert NULL.spans == [] and NULL.counters == {} and NULL.dists == {}
+    # `collector or NULL` is the call-site normalization
+    assert (None or NULL) is NULL
+    real = Collector()
+    assert (real or NULL) is real
+
+
+def test_detect_without_collector_leaves_no_trace():
+    project = Project.from_source(FIGURE1.source, "figure1.go")
+    result = project.detect()
+    assert result.trace is None
+    assert project.collector is NULL
+
+
+# -- JSON schema -------------------------------------------------------------
+
+
+def test_snapshot_round_trips_through_json():
+    c = Collector("roundtrip")
+    with c.span("parse"):
+        with c.span("ssa-build"):
+            pass
+    c.count("paths.enumerated", 12)
+    c.gauge("g", 3.5)
+    c.observe("pset.size", 4)
+    c.observe("pset.size", 8)
+    first = snapshot(c)
+    assert first["schema"] == SCHEMA
+    reloaded = load(json.loads(json_dumps(first)))
+    assert snapshot(reloaded) == first
+
+
+def test_load_rejects_unknown_schema():
+    with pytest.raises(ValueError):
+        load({"schema": "repro.obs/999"})
+
+
+def test_snapshot_orders_pipeline_stages_first():
+    c = Collector()
+    with c.span("gcatch"):  # not a pipeline stage
+        pass
+    with c.span("solve"):
+        pass
+    with c.span("parse"):
+        pass
+    names = [s["name"] for s in snapshot(c)["stages"]]
+    assert names == ["parse", "solve", "gcatch"]
+
+
+# -- full-pipeline traces ----------------------------------------------------
+
+
+def test_full_detect_trace_has_every_stage_exactly_once():
+    collector = Collector("figure1")
+    project = Project.from_source(FIGURE1.source, "figure1.go", collector=collector)
+    result = project.detect()
+    assert result.trace is collector
+    stages = [s["name"] for s in snapshot(collector)["stages"] if s["name"] in PIPELINE_STAGES]
+    assert stages == list(PIPELINE_STAGES)
+    totals = collector.stage_totals()
+    for stage in PIPELINE_STAGES:
+        assert totals[stage][1] > 0.0, f"stage {stage} recorded no time"
+    # the per-bug cost fields (Table 6 analogue) are populated
+    report = result.bmoc.reports[0]
+    assert report.clause_count > 0
+    assert report.solver_nodes > 0
+    assert report.solver_outcome == "sat"
+    assert "solver effort" in report.render()
+
+
+def test_explorer_aggregates_counters_across_goroutine_spawning_runs():
+    collector = Collector()
+    project = Project.from_source(FIGURE1.source, "figure1.go", collector=collector)
+    exploration = project.explore(entry=FIGURE1.entry, max_runs=64)
+    assert exploration.trace is collector
+    assert collector.counters["explore.runs"] == exploration.runs
+    # Figure 1's entry spawns a goroutine per run, so the interpreter-level
+    # counter aggregates across every explorer-driven execution
+    assert collector.counters["run.goroutines"] >= exploration.runs
+    payload = exploration.to_json()
+    assert payload["kind"] == "exploration"
+    assert payload["stats"]["schema"] == SCHEMA
+
+
+def test_fix_all_and_validate_report_into_the_same_collector():
+    collector = Collector()
+    project = Project.from_source(FIGURE1.source, "figure1.go", collector=collector)
+    result = project.detect()
+    summary = project.fix_all(result.bmoc.bmoc_channel_bugs())
+    assert summary.trace is collector
+    assert summary.fixed()
+    assert collector.counters["fix.attempt.buffer"] >= 1
+    totals = collector.stage_totals()
+    assert "fix-preprocess" in totals and "fix-transform" in totals
+
+
+def test_render_stats_mentions_every_recorded_stage():
+    collector = Collector()
+    project = Project.from_source(FIGURE1.source, "figure1.go", collector=collector)
+    project.detect()
+    text = render_stats(collector)
+    for stage in PIPELINE_STAGES:
+        assert stage in text
