@@ -30,6 +30,11 @@ from repro.api import Project
 from repro.detector.nonblocking import detect_nonblocking
 from repro.obs import Collector, json_dumps, render_stats
 
+#: dedicated exit code for ``--fail-on-timeout``: the analysis was
+#: incomplete (a solver or per-primitive budget ran out), distinct from
+#: "bugs found" (1) and "usage error" (2)
+EXIT_TIMEOUT = 3
+
 
 def _load(path: str, collector: Optional[Collector] = None) -> Project:
     return Project.from_file(path, collector=collector)
@@ -37,29 +42,61 @@ def _load(path: str, collector: Optional[Collector] = None) -> Project:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     collector = Collector(args.file) if args.trace else None
+    cache = None
+    if args.cache_dir:
+        from repro.engine import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     project = _load(args.file, collector=collector)
-    result = project.detect(disentangle=not args.no_disentangle)
+    result = project.detect(
+        disentangle=not args.no_disentangle,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache=cache,
+        budget_wall_seconds=args.budget_seconds,
+        budget_solver_nodes=args.budget_nodes,
+    )
     reports = result.all_reports()
+    timed_out = result.has_timeouts()
+    exit_code = 1 if reports else 0
+    if args.fail_on_timeout and timed_out:
+        exit_code = EXIT_TIMEOUT
     if not reports:
         print("no bugs detected")
+        if timed_out:
+            print(_timeout_summary(result))
         if collector is not None:
             print()
             print(render_stats(collector))
-        return 0
+        return exit_code
     for report in reports:
         print(report.render())
         print()
     bmoc = len(result.bmoc.reports)
     print(f"{len(reports)} report(s): {bmoc} BMOC, {len(result.traditional)} traditional "
           f"({result.elapsed_seconds:.2f}s)")
+    if timed_out:
+        print(_timeout_summary(result))
     if collector is not None:
         from repro.report.table import render_bug_costs
 
         print()
-        print(render_bug_costs(reports))
+        print(render_bug_costs(reports, timeouts=result.timed_out_shards()))
         print()
         print(render_stats(collector))
-    return 1
+    return exit_code
+
+
+def _timeout_summary(result) -> str:
+    stats = result.bmoc.stats
+    shards = result.timed_out_shards()
+    parts = []
+    if shards:
+        labels = ", ".join(s.label for s in shards)
+        parts.append(f"{len(shards)} primitive(s) hit their analysis budget: {labels}")
+    if stats.solver_timeouts:
+        parts.append(f"{stats.solver_timeouts} solver call(s) hit the node budget")
+    return "TIMEOUT: " + "; ".join(parts) + " — results may be incomplete"
 
 
 def cmd_fix(args: argparse.Namespace) -> int:
@@ -249,6 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-disentangle", action="store_true", help="whole-program ablation mode")
     p.add_argument("--trace", action="store_true",
                    help="append the per-stage observability table")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="shard per-primitive analysis across N workers "
+                        "(default: REPRO_JOBS env var, else serial)")
+    p.add_argument("--backend", choices=["thread", "process"], default=None,
+                   help="pool backend for --jobs (default: REPRO_BACKEND, else thread)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persist per-primitive results under this directory; "
+                        "warm re-runs skip unchanged primitives")
+    p.add_argument("--budget-seconds", type=float, default=None,
+                   help="per-primitive wall-clock budget (TIMEOUT on exhaustion)")
+    p.add_argument("--budget-nodes", type=int, default=None,
+                   help="per-primitive solver-node budget (TIMEOUT on exhaustion)")
+    p.add_argument("--fail-on-timeout", action="store_true",
+                   help=f"exit with code {EXIT_TIMEOUT} when any budget ran out")
     p.set_defaults(func=cmd_detect)
 
     p = sub.add_parser("fix", help="run GCatch + GFix; print patches")

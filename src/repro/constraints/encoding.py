@@ -119,6 +119,11 @@ class ConstraintSystem:
         return "\n".join(lines)
 
 
+#: version tag of the Φ_R ∧ Φ_B encoding; part of every cache fingerprint,
+#: so bumping it invalidates all cached detection results (repro.engine)
+ENCODER_VERSION = "1"
+
+
 def encode(
     combo: PathCombination, stops: List[StopPoint], collector=None
 ) -> ConstraintSystem:

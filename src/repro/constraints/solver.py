@@ -34,6 +34,10 @@ from repro.detector.paths import OpEvent, SelectChoice, SpawnEvent
 
 MAX_NODES = 50_000
 
+#: version tag of the decision procedure; part of every cache fingerprint,
+#: so bumping it invalidates all cached detection results (repro.engine)
+SOLVER_VERSION = "1"
+
 #: decision-procedure outcomes (the paper's SAT / UNSAT / Z3 timeout)
 SAT = "sat"
 UNSAT = "unsat"
@@ -91,8 +95,9 @@ class _PrimState:
 
 
 class _Search:
-    def __init__(self, system: ConstraintSystem):
+    def __init__(self, system: ConstraintSystem, max_nodes: Optional[int] = None):
         self.system = system
+        self.max_nodes = max_nodes if max_nodes is not None else MAX_NODES
         self.events: Dict[int, List[Occurrence]] = system.per_goroutine
         self.gids = sorted(self.events)
         self.prims = system.primitives()
@@ -265,7 +270,7 @@ class _Search:
 
     def _dfs(self, progress: Dict[int, int], states: List[_PrimState]) -> bool:
         self.nodes += 1
-        if self.nodes > MAX_NODES:
+        if self.nodes > self.max_nodes:
             self.exhausted = True
             return False
         if all(progress[gid] >= len(self.events[gid]) for gid in self.gids):
@@ -432,14 +437,18 @@ class SolveOutcome:
         return self.solution is not None
 
 
-def solve_detailed(system: ConstraintSystem, collector=None) -> SolveOutcome:
+def solve_detailed(
+    system: ConstraintSystem, collector=None, max_nodes: Optional[int] = None
+) -> SolveOutcome:
     """Decide Φ_R ∧ Φ_B and report the verdict plus solver effort.
 
     ``collector`` (a :class:`repro.obs.Collector`) receives the
     ``solver.calls`` / ``solver.sat`` / ``solver.unsat`` /
-    ``solver.timeout`` / ``solver.nodes`` counters.
+    ``solver.timeout`` / ``solver.nodes`` counters. ``max_nodes``
+    overrides the module-level :data:`MAX_NODES` budget for this call —
+    the per-primitive node-budget discipline of :mod:`repro.engine`.
     """
-    search = _Search(system)
+    search = _Search(system, max_nodes=max_nodes)
     solution = search.run()
     if solution is not None:
         outcome = SAT

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.alias import run_alias_analysis
 from repro.analysis.callgraph import build_call_graph
@@ -23,7 +23,7 @@ from repro.analysis.dependency import build_dependency_graph, compute_pset
 from repro.analysis.primitives import Primitive, find_primitives
 from repro.analysis.scope import Scope, compute_all_scopes
 from repro.constraints.encoding import StopPoint, encode
-from repro.constraints.solver import solve_detailed
+from repro.constraints.solver import TIMEOUT, solve_detailed
 from repro.obs import (
     NULL,
     STAGE_ALIAS,
@@ -46,6 +46,54 @@ from repro.detector.reporting import BlockedOp, BugReport, dedup_reports
 from repro.detector.suspicious import enumerate_groups
 
 
+class BudgetExceeded(Exception):
+    """A per-primitive analysis budget ran out (wall clock or solver nodes)."""
+
+
+class AnalysisBudget:
+    """Per-primitive effort limits (the paper's per-package Z3 timeout).
+
+    ``wall_seconds`` caps one primitive's total analysis wall-clock time;
+    ``solver_nodes`` caps the total decision-procedure nodes it may spend
+    across all its solver calls; ``max_nodes_per_solve`` caps any single
+    call (defaults to the solver's own :data:`~repro.constraints.solver.MAX_NODES`).
+    The budget is consulted between combinations and before every solve,
+    so exceeding it degrades gracefully: reports found so far are kept and
+    the primitive is marked TIMEOUT.
+    """
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        solver_nodes: Optional[int] = None,
+        max_nodes_per_solve: Optional[int] = None,
+    ):
+        self.wall_seconds = wall_seconds
+        self.solver_nodes = solver_nodes
+        self.max_nodes_per_solve = max_nodes_per_solve
+        self.deadline = (
+            time.perf_counter() + wall_seconds if wall_seconds is not None else None
+        )
+        self.nodes_left = solver_nodes
+
+    def check(self) -> None:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise BudgetExceeded("wall-clock budget exhausted")
+        if self.nodes_left is not None and self.nodes_left <= 0:
+            raise BudgetExceeded("solver-node budget exhausted")
+
+    def per_solve_nodes(self) -> Optional[int]:
+        if self.nodes_left is None:
+            return self.max_nodes_per_solve
+        if self.max_nodes_per_solve is None:
+            return self.nodes_left
+        return min(self.nodes_left, self.max_nodes_per_solve)
+
+    def charge(self, nodes: int) -> None:
+        if self.nodes_left is not None:
+            self.nodes_left -= nodes
+
+
 @dataclass
 class DetectionStats:
     channels_analyzed: int = 0
@@ -53,8 +101,21 @@ class DetectionStats:
     groups_checked: int = 0
     solver_calls: int = 0
     sat_results: int = 0
+    solver_timeouts: int = 0  # solver calls that hit their node budget
+    analysis_timeouts: int = 0  # primitives whose AnalysisBudget ran out
     elapsed_seconds: float = 0.0
     per_channel_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "DetectionStats") -> None:
+        """Fold another shard's stats into this one (repro.engine)."""
+        self.channels_analyzed += other.channels_analyzed
+        self.combinations += other.combinations
+        self.groups_checked += other.groups_checked
+        self.solver_calls += other.solver_calls
+        self.sat_results += other.sat_results
+        self.solver_timeouts += other.solver_timeouts
+        self.analysis_timeouts += other.analysis_timeouts
+        self.per_channel_seconds.update(other.per_channel_seconds)
 
 
 @dataclass
@@ -79,11 +140,13 @@ class BMOCDetector:
         max_loop_unroll: int = 2,
         prune_infeasible: bool = True,
         collector=None,
+        solver_max_nodes: Optional[int] = None,
     ):
         self.program = program
         self.disentangle = disentangle
         self.max_loop_unroll = max_loop_unroll
         self.prune_infeasible = prune_infeasible
+        self.solver_max_nodes = solver_max_nodes
         self.collector = collector or NULL
         with self.collector.span(STAGE_CALLGRAPH):
             self.call_graph = build_call_graph(program)
@@ -95,20 +158,26 @@ class BMOCDetector:
         with self.collector.span(STAGE_DISENTANGLE):
             self.scopes = compute_all_scopes(self.pmap, self.call_graph)
 
+    def for_shard(self, collector) -> "BMOCDetector":
+        """A shallow clone sharing every analysis artifact but reporting
+        into its own collector — the unit the engine hands to pool workers
+        (the span stack is per-collector, so shards must not share one)."""
+        clone = object.__new__(BMOCDetector)
+        clone.__dict__.update(self.__dict__)
+        clone.collector = collector or NULL
+        return clone
+
     # -- public ---------------------------------------------------------------
 
     def detect(self) -> DetectionResult:
         start = time.perf_counter()
         stats = DetectionStats()
         reports: List[BugReport] = []
-        for channel in self.pmap.channels():
-            if channel.site.kind == "ctxdone":
-                # Done channels are closed by the runtime, not the program;
-                # waiting on them forever is normal behaviour
-                continue
+        for channel in self.channels_to_analyze():
             chan_start = time.perf_counter()
             stats.channels_analyzed += 1
-            reports.extend(self._analyze_channel(channel, stats))
+            shard_reports, _ = self.analyze_channel(channel, stats)
+            reports.extend(shard_reports)
             stats.per_channel_seconds[str(channel.site)] = time.perf_counter() - chan_start
         stats.elapsed_seconds = time.perf_counter() - start
         if self.collector:
@@ -116,9 +185,45 @@ class BMOCDetector:
             self.collector.count("detect.groups", stats.groups_checked)
         return DetectionResult(reports=dedup_reports(reports), stats=stats)
 
+    def channels_to_analyze(self) -> List[Primitive]:
+        """The per-primitive analysis units, in deterministic program order.
+
+        Done channels are excluded: they are closed by the runtime, not the
+        program, so waiting on them forever is normal behaviour.
+        """
+        return [c for c in self.pmap.channels() if c.site.kind != "ctxdone"]
+
     # -- per-channel analysis ----------------------------------------------------
 
-    def _analyze_channel(self, channel: Primitive, stats: DetectionStats) -> List[BugReport]:
+    def analyze_channel(
+        self,
+        channel: Primitive,
+        stats: DetectionStats,
+        budget: Optional[AnalysisBudget] = None,
+    ) -> Tuple[List[BugReport], bool]:
+        """Analyze one channel; returns ``(reports, timed_out)``.
+
+        When ``budget`` runs out mid-analysis the reports found so far are
+        returned with ``timed_out=True`` — the engine records the TIMEOUT
+        and moves on to the next primitive.
+        """
+        reports: List[BugReport] = []
+        try:
+            self._analyze_channel(channel, stats, reports, budget)
+            return reports, False
+        except BudgetExceeded:
+            stats.analysis_timeouts += 1
+            if self.collector:
+                self.collector.count("engine.timeout")
+            return reports, True
+
+    def _analyze_channel(
+        self,
+        channel: Primitive,
+        stats: DetectionStats,
+        reports: List[BugReport],
+        budget: Optional[AnalysisBudget] = None,
+    ) -> None:
         collector = self.collector
         if self.disentangle:
             scope = self.scopes[channel]
@@ -136,7 +241,6 @@ class BMOCDetector:
         if collector:
             collector.observe("pset.size", len(pset))
             collector.observe("scope.functions", len(scope_functions))
-        reports: List[BugReport] = []
         for root in roots:
             enumerator = PathEnumerator(
                 self.program,
@@ -155,8 +259,11 @@ class BMOCDetector:
             if collector:
                 collector.count("paths.combinations", len(combos))
             for combo in combos:
-                reports.extend(self._check_combination(channel, combo, scope_functions, stats))
-        return reports
+                if budget is not None:
+                    budget.check()
+                reports.extend(
+                    self._check_combination(channel, combo, scope_functions, stats, budget)
+                )
 
     def _roots_for(self, channel: Primitive, scope: Scope) -> List[str]:
         if scope.lca is not None:
@@ -170,6 +277,7 @@ class BMOCDetector:
         combo: PathCombination,
         scope_functions,
         stats: DetectionStats,
+        budget: Optional[AnalysisBudget] = None,
     ) -> List[BugReport]:
         collector = self.collector
         reports: List[BugReport] = []
@@ -179,13 +287,23 @@ class BMOCDetector:
                 for group in enumerate_groups(combo, collector if collector else None)
                 if self._group_targets_channel(group, channel)
             ]
+        max_nodes = self.solver_max_nodes
         for group in groups:
+            if budget is not None:
+                budget.check()
+                max_nodes = budget.per_solve_nodes() or self.solver_max_nodes
             stats.groups_checked += 1
             with collector.span(STAGE_ENCODE):
                 system = encode(combo, group, collector if collector else None)
             stats.solver_calls += 1
             with collector.span(STAGE_SOLVE):
-                outcome = solve_detailed(system, collector if collector else None)
+                outcome = solve_detailed(
+                    system, collector if collector else None, max_nodes=max_nodes
+                )
+            if budget is not None:
+                budget.charge(outcome.nodes)
+            if outcome.outcome == TIMEOUT:
+                stats.solver_timeouts += 1
             if outcome.solution is None:
                 continue
             stats.sat_results += 1

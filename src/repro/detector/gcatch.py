@@ -2,10 +2,17 @@
 
 Combines the BMOC detector with the five traditional checkers and returns
 every report, grouped the way Table 1 groups them.
+
+``run_gcatch`` is also the front door of :mod:`repro.engine`: pass
+``jobs`` > 1 (or set ``REPRO_JOBS``), a result ``cache``, or a per-primitive
+``budget`` and detection runs through the sharded engine instead of the
+serial loop — with byte-identical report sets (the parity suite asserts
+this over the whole corpus).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -39,9 +46,24 @@ class GCatchResult:
     # the run's observability collector, when detection ran with one; its
     # stage table carries the per-stage timings behind elapsed_seconds
     trace: Optional[Collector] = None
+    # per-shard records when detection ran through repro.engine
+    # (List[repro.engine.ShardInfo]); None on the serial path
+    shards: Optional[List] = None
 
     def all_reports(self) -> List[BugReport]:
         return list(self.bmoc.reports) + list(self.traditional)
+
+    def timed_out_shards(self) -> List:
+        """Shards whose per-primitive budget ran out (engine runs only)."""
+        return [s for s in (self.shards or []) if s.outcome == "timeout"]
+
+    def has_timeouts(self) -> bool:
+        """Any solver node-budget TIMEOUT or per-primitive budget TIMEOUT."""
+        return bool(
+            self.bmoc.stats.solver_timeouts
+            or self.bmoc.stats.analysis_timeouts
+            or self.timed_out_shards()
+        )
 
     def by_category(self) -> Dict[str, List[BugReport]]:
         out: Dict[str, List[BugReport]] = {cat: [] for cat in TABLE1_CATEGORIES}
@@ -53,15 +75,56 @@ class GCatchResult:
         return len(self.by_category().get(category, []))
 
 
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Explicit ``jobs`` beats ``REPRO_JOBS`` beats serial (1)."""
+    if jobs is not None:
+        return max(1, jobs)
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "") or 1))
+    except ValueError:
+        return 1
+
+
 def run_gcatch(
-    program: ir.Program, disentangle: bool = True, collector: Optional[Collector] = None
+    program: ir.Program,
+    disentangle: bool = True,
+    collector: Optional[Collector] = None,
+    jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    cache=None,
+    budget_wall_seconds: Optional[float] = None,
+    budget_solver_nodes: Optional[int] = None,
 ) -> GCatchResult:
     """Run the complete GCatch pipeline over a lowered program.
 
     ``collector`` (see :mod:`repro.obs`) receives per-stage spans for every
     box of the Figure 2 pipeline plus effort counters; the same collector
     is attached to the returned result as ``.trace``.
+
+    ``jobs``/``backend``/``cache``/``budget_*`` route detection through the
+    sharded :mod:`repro.engine` (defaults: ``REPRO_JOBS``/``REPRO_BACKEND``
+    env vars, no cache, no budget). With everything at its default the
+    original serial path runs unchanged.
     """
+    resolved_jobs = resolve_jobs(jobs)
+    resolved_backend = backend or os.environ.get("REPRO_BACKEND") or "thread"
+    if (
+        resolved_jobs > 1
+        or cache is not None
+        or budget_wall_seconds is not None
+        or budget_solver_nodes is not None
+    ):
+        from repro.engine import EngineConfig, run_engine
+
+        config = EngineConfig(
+            jobs=resolved_jobs,
+            backend=resolved_backend,
+            cache=cache,
+            budget_wall_seconds=budget_wall_seconds,
+            budget_solver_nodes=budget_solver_nodes,
+            disentangle=disentangle,
+        )
+        return run_engine(program, config=config, collector=collector)
     obs = collector or NULL
     start = time.perf_counter()
     with obs.span("gcatch"):

@@ -1,0 +1,38 @@
+"""repro.engine — parallel, incremental detection with result caching.
+
+See :mod:`repro.engine.engine` for the sharding/orchestration model,
+:mod:`repro.engine.fingerprint` for the content-addressing scheme, and
+:mod:`repro.engine.cache` for the two-tier result cache.
+"""
+
+from repro.engine.cache import CachedShard, ResultCache, cache_from_env
+from repro.engine.engine import (
+    TRADITIONAL_CHECKERS,
+    DetectionEngine,
+    EngineConfig,
+    ShardInfo,
+    run_engine,
+)
+from repro.engine.fingerprint import (
+    ENGINE_VERSION,
+    ProgramDigests,
+    channel_fingerprint,
+    function_digest,
+    traditional_fingerprint,
+)
+
+__all__ = [
+    "CachedShard",
+    "DetectionEngine",
+    "ENGINE_VERSION",
+    "EngineConfig",
+    "ProgramDigests",
+    "ResultCache",
+    "ShardInfo",
+    "TRADITIONAL_CHECKERS",
+    "cache_from_env",
+    "channel_fingerprint",
+    "function_digest",
+    "run_engine",
+    "traditional_fingerprint",
+]

@@ -1,0 +1,115 @@
+"""Cross-run result cache for detection-engine shards.
+
+Entries are keyed by the content-addressed fingerprints of
+:mod:`repro.engine.fingerprint`; a key names the *complete* input of one
+shard's analysis, so entries never need explicit invalidation — an edit
+simply produces a different key.
+
+Two tiers:
+
+* an in-process memory tier (always on) holding full-fidelity
+  :class:`CachedShard` objects — warm re-runs inside one process return
+  the very same report objects;
+* an optional disk tier (pass ``path`` or set ``REPRO_CACHE_DIR``)
+  persisting pickled entries across processes.
+
+Disk layout (documented in README "Performance")::
+
+    <cache-dir>/objects/<first two hex chars>/<sha256 fingerprint>.pkl
+
+A disk entry is one pickled :class:`CachedShard`. Unreadable or
+version-incompatible entries load as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.detector.bmoc import DetectionStats
+from repro.detector.reporting import BugReport
+
+
+@dataclass
+class CachedShard:
+    """One shard's complete outcome: its reports plus the effort behind them."""
+
+    reports: List[BugReport]
+    stats: DetectionStats = field(default_factory=DetectionStats)
+    counters: Dict[str, int] = field(default_factory=dict)
+    outcome: str = "ok"  # 'ok' (only completed shards are cached)
+
+
+class ResultCache:
+    """Memory + optional-disk shard cache with hit/miss accounting."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = Path(path) if path else None
+        self._memory: Dict[str, CachedShard] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CachedShard]:
+        entry = self._memory.get(key)
+        if entry is None and self.path is not None:
+            entry = self._load(key)
+            if entry is not None:
+                self._memory[key] = entry
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CachedShard) -> None:
+        self._memory[key] = entry
+        if self.path is not None:
+            self._store(key, entry)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.path / "objects" / key[:2] / (key + ".pkl")
+
+    def _load(self, key: str) -> Optional[CachedShard]:
+        target = self._entry_path(key)
+        try:
+            with open(target, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            return None
+        return entry if isinstance(entry, CachedShard) else None
+
+    def _store(self, key: str, entry: CachedShard) -> None:
+        target = self._entry_path(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            # write-then-rename so concurrent writers never expose torn files
+            fd, tmp = tempfile.mkstemp(dir=str(target.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(entry, handle)
+                os.replace(tmp, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PickleError):
+            pass  # a cache that cannot persist is still a cache
+
+
+def cache_from_env() -> Optional[ResultCache]:
+    """A disk-backed cache when ``REPRO_CACHE_DIR`` is set, else None."""
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    return ResultCache(cache_dir) if cache_dir else None

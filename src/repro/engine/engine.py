@@ -1,0 +1,375 @@
+"""The parallel, incremental detection engine.
+
+The paper's disentangling strategy exists so each channel's BMOC analysis
+runs in a small, independent scope (its ``Pset``). This engine exploits
+that independence three ways:
+
+* **sharding** — each post-disentangle primitive analysis, plus each of
+  the five traditional checkers, is one shard; shards run across a
+  ``concurrent.futures`` pool (``jobs=N``) and results are reassembled in
+  program order, so the report set is identical regardless of completion
+  order (asserted by the parity suite);
+* **incrementality** — with a :class:`~repro.engine.cache.ResultCache`,
+  each shard is keyed by a content-addressed fingerprint of its analysis
+  scope; a warm re-run skips solved primitives entirely, and an edit
+  invalidates only the primitives whose scope contains the edited
+  function;
+* **budgets** — per-primitive wall-clock/solver-node budgets degrade
+  gracefully: a shard that exhausts its budget keeps the reports it found,
+  is marked TIMEOUT, and the engine continues (the paper's per-package Z3
+  timeout discipline).
+
+Backends: ``thread`` (default) shares the analyzed program in memory and
+returns full-fidelity reports; ``process`` forks workers for true CPU
+parallelism on multi-core hosts (falling back to threads where ``fork``
+is unavailable) at the cost of coarser per-shard traces.
+
+Observability: per-shard ``engine-shard`` spans, plus the ``cache.hit`` /
+``cache.miss`` / ``cache.skipped-solver-calls`` / ``engine.timeout`` /
+``engine.shards`` counters, all through the run's :mod:`repro.obs`
+collector.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.detector.bmoc import AnalysisBudget, BMOCDetector, DetectionResult, DetectionStats
+from repro.detector.reporting import BugReport, dedup_reports
+from repro.detector.traditional.double_lock import check_double_lock
+from repro.detector.traditional.fatal_goroutine import check_fatal_goroutine
+from repro.detector.traditional.forget_unlock import check_forget_unlock
+from repro.detector.traditional.lock_order import check_lock_order
+from repro.detector.traditional.struct_race import check_struct_races
+from repro.engine.cache import CachedShard, ResultCache
+from repro.engine.fingerprint import (
+    ProgramDigests,
+    channel_fingerprint,
+    traditional_fingerprint,
+)
+from repro.obs import NULL, STAGE_ENGINE_SHARD, Collector, Span
+from repro.ssa import ir
+
+#: the five traditional checkers, in the fixed order the serial pipeline
+#: runs them (report order and dedup depend on it)
+TRADITIONAL_CHECKERS: Tuple[str, ...] = (
+    "forget-unlock",
+    "double-lock",
+    "conflict-lock",
+    "struct-race",
+    "fatal-goroutine",
+)
+
+
+@dataclass
+class EngineConfig:
+    """Knobs of one engine run; all have serial-compatible defaults."""
+
+    jobs: int = 1
+    backend: str = "thread"  # 'thread' | 'process'
+    cache: Optional[ResultCache] = None
+    budget_wall_seconds: Optional[float] = None  # per primitive
+    budget_solver_nodes: Optional[int] = None  # per primitive, across solves
+    solver_max_nodes: Optional[int] = None  # per individual solve
+    disentangle: bool = True
+    max_loop_unroll: int = 2
+    prune_infeasible: bool = True
+
+
+@dataclass
+class ShardInfo:
+    """Engine-level record of one shard: what ran, how, and at what cost."""
+
+    kind: str  # 'bmoc' | 'traditional'
+    label: str  # channel site repr or checker name
+    fingerprint: str = ""
+    seconds: float = 0.0
+    outcome: str = "ok"  # 'ok' | 'timeout' | 'cached'
+    reports: int = 0
+
+
+@dataclass
+class _ShardOutcome:
+    index: int
+    reports: List[BugReport]
+    stats: DetectionStats
+    seconds: float
+    timed_out: bool
+    counters: Dict[str, int] = field(default_factory=dict)
+    collector: Optional[Collector] = None
+
+
+# module-level slot a forked worker inherits; see _run_shard_in_worker
+_FORKED_ENGINE: Optional["DetectionEngine"] = None
+
+
+def _run_shard_in_worker(index: int):
+    outcome = _FORKED_ENGINE._execute_shard(index)
+    # Collector objects hold locks and cannot cross the process boundary;
+    # ship the counters and drop the span tree (the parent records one
+    # engine-shard span from the measured seconds instead)
+    if outcome.collector is not None:
+        outcome.counters = dict(outcome.collector.counters)
+        outcome.collector = None
+    return outcome
+
+
+class DetectionEngine:
+    """Shards one program's detection across a pool, with result caching."""
+
+    def __init__(
+        self,
+        program: ir.Program,
+        config: Optional[EngineConfig] = None,
+        collector: Optional[Collector] = None,
+    ):
+        self.program = program
+        self.config = config or EngineConfig()
+        self.collector = collector or NULL
+        self.detector: Optional[BMOCDetector] = None
+        self._channels: List = []
+        self._shards: List[ShardInfo] = []
+
+    # -- shard bodies ------------------------------------------------------
+
+    def _make_budget(self) -> Optional[AnalysisBudget]:
+        cfg = self.config
+        if (
+            cfg.budget_wall_seconds is None
+            and cfg.budget_solver_nodes is None
+            and cfg.solver_max_nodes is None
+        ):
+            return None
+        return AnalysisBudget(
+            wall_seconds=cfg.budget_wall_seconds,
+            solver_nodes=cfg.budget_solver_nodes,
+            max_nodes_per_solve=cfg.solver_max_nodes,
+        )
+
+    def _execute_shard(self, index: int) -> _ShardOutcome:
+        info = self._shards[index]
+        child = Collector(f"shard:{info.label}") if self.collector else None
+        start = time.perf_counter()
+        stats = DetectionStats()
+        with (child or NULL).span(STAGE_ENGINE_SHARD):
+            if info.kind == "bmoc":
+                detector = self.detector.for_shard(child or NULL)
+                channel = self._channels[index]
+                stats.channels_analyzed = 1
+                reports, timed_out = detector.analyze_channel(
+                    channel, stats, self._make_budget()
+                )
+            else:
+                reports = self._run_checker(info.label)
+                timed_out = False
+        seconds = time.perf_counter() - start
+        if info.kind == "bmoc":
+            stats.per_channel_seconds[info.label] = seconds
+        return _ShardOutcome(
+            index=index,
+            reports=reports,
+            stats=stats,
+            seconds=seconds,
+            timed_out=timed_out,
+            collector=child,
+        )
+
+    def _run_checker(self, name: str) -> List[BugReport]:
+        detector = self.detector
+        if name == "forget-unlock":
+            return check_forget_unlock(self.program, detector.alias)
+        if name == "double-lock":
+            return check_double_lock(self.program, detector.alias)
+        if name == "conflict-lock":
+            return check_lock_order(self.program, detector.alias)
+        if name == "struct-race":
+            return check_struct_races(self.program, detector.alias)
+        if name == "fatal-goroutine":
+            return check_fatal_goroutine(self.program, detector.call_graph)
+        raise ValueError(f"unknown traditional checker: {name}")
+
+    # -- orchestration -----------------------------------------------------
+
+    def run(self) -> "GCatchResult":
+        from repro.detector.gcatch import GCatchResult
+
+        obs = self.collector
+        cfg = self.config
+        start = time.perf_counter()
+        with obs.span("gcatch"):
+            self.detector = BMOCDetector(
+                self.program,
+                disentangle=cfg.disentangle,
+                max_loop_unroll=cfg.max_loop_unroll,
+                prune_infeasible=cfg.prune_infeasible,
+                collector=obs,
+                solver_max_nodes=cfg.solver_max_nodes,
+            )
+            self._plan_shards()
+            cached, pending = self._probe_cache()
+            executed = self._execute(pending)
+        outcomes: Dict[int, _ShardOutcome] = {}
+        outcomes.update(cached)
+        outcomes.update(executed)
+
+        bmoc_reports: List[BugReport] = []
+        traditional: List[BugReport] = []
+        agg = DetectionStats()
+        for index, info in enumerate(self._shards):
+            outcome = outcomes[index]
+            info.seconds = outcome.seconds
+            info.reports = len(outcome.reports)
+            if outcome.timed_out:
+                info.outcome = "timeout"
+            agg.merge(outcome.stats)
+            if info.kind == "bmoc":
+                bmoc_reports.extend(outcome.reports)
+            else:
+                traditional.extend(outcome.reports)
+            self._record_observability(info, outcome)
+            self._store_cache(info, outcome)
+        agg.elapsed_seconds = time.perf_counter() - start
+        result = GCatchResult(
+            bmoc=DetectionResult(reports=dedup_reports(bmoc_reports), stats=agg),
+            traditional=dedup_reports(traditional),
+            shards=list(self._shards),
+        )
+        result.elapsed_seconds = agg.elapsed_seconds
+        if obs:
+            obs.count("engine.shards", len(self._shards))
+            obs.count("detect.channels", agg.channels_analyzed)
+            obs.count("detect.groups", agg.groups_checked)
+            obs.count("detect.reports", len(result.all_reports()))
+            result.trace = obs
+        return result
+
+    def _plan_shards(self) -> None:
+        self._channels = list(self.detector.channels_to_analyze())
+        self._shards = [
+            ShardInfo(kind="bmoc", label=str(channel.site))
+            for channel in self._channels
+        ]
+        self._shards.extend(
+            ShardInfo(kind="traditional", label=name) for name in TRADITIONAL_CHECKERS
+        )
+        if self.config.cache is not None:
+            self._fingerprint_shards()
+
+    def _fingerprint_shards(self) -> None:
+        from repro.analysis.dependency import compute_pset
+
+        cfg = self.config
+        digests = ProgramDigests(self.program)
+        detector = self.detector
+        for index, channel in enumerate(self._channels):
+            if cfg.disentangle:
+                pset = compute_pset(channel, detector.dep_graph, detector.scopes)
+                scope_functions = detector.scopes[channel].functions
+            else:
+                pset = [p for p in detector.pmap if p.site.kind != "ctxdone"]
+                scope_functions = set(self.program.functions)
+            self._shards[index].fingerprint = channel_fingerprint(
+                digests,
+                channel,
+                pset,
+                scope_functions,
+                disentangle=cfg.disentangle,
+                max_loop_unroll=cfg.max_loop_unroll,
+                prune_infeasible=cfg.prune_infeasible,
+                solver_max_nodes=cfg.solver_max_nodes,
+            )
+        for index in range(len(self._channels), len(self._shards)):
+            info = self._shards[index]
+            info.fingerprint = traditional_fingerprint(digests, info.label)
+
+    def _probe_cache(self) -> Tuple[Dict[int, _ShardOutcome], List[int]]:
+        cache = self.config.cache
+        cached: Dict[int, _ShardOutcome] = {}
+        pending: List[int] = []
+        for index, info in enumerate(self._shards):
+            entry = cache.get(info.fingerprint) if cache is not None else None
+            if entry is None:
+                pending.append(index)
+                continue
+            info.outcome = "cached"
+            cached[index] = _ShardOutcome(
+                index=index,
+                reports=entry.reports,
+                stats=entry.stats,
+                seconds=0.0,
+                timed_out=False,
+                counters=dict(entry.counters),
+            )
+        return cached, pending
+
+    def _execute(self, pending: List[int]) -> Dict[int, _ShardOutcome]:
+        jobs = max(1, self.config.jobs)
+        if jobs == 1 or len(pending) <= 1:
+            return {i: self._execute_shard(i) for i in pending}
+        backend = self.config.backend
+        if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            backend = "thread"
+        if backend == "process":
+            return self._execute_process(pending, jobs)
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(self._execute_shard, pending))
+        return {o.index: o for o in outcomes}
+
+    def _execute_process(self, pending: List[int], jobs: int) -> Dict[int, _ShardOutcome]:
+        global _FORKED_ENGINE
+        context = multiprocessing.get_context("fork")
+        _FORKED_ENGINE = self
+        try:
+            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+                outcomes = list(pool.map(_run_shard_in_worker, pending))
+        finally:
+            _FORKED_ENGINE = None
+        return {o.index: o for o in outcomes}
+
+    # -- result assembly ---------------------------------------------------
+
+    def _record_observability(self, info: ShardInfo, outcome: _ShardOutcome) -> None:
+        obs = self.collector
+        if not obs:
+            return
+        if info.outcome == "cached":
+            obs.count("cache.hit")
+            obs.count("cache.skipped-solver-calls", outcome.stats.solver_calls)
+            return
+        if self.config.cache is not None:
+            obs.count("cache.miss")
+        if outcome.collector is not None:
+            obs.merge(outcome.collector)
+        elif outcome.counters:
+            # a forked worker: replay its counters, synthesize its span
+            for name, n in outcome.counters.items():
+                obs.count(name, n)
+            span = Span(name=STAGE_ENGINE_SHARD, start=0.0, end=outcome.seconds)
+            obs.spans.append(span)
+
+    def _store_cache(self, info: ShardInfo, outcome: _ShardOutcome) -> None:
+        cache = self.config.cache
+        if cache is None or info.outcome != "ok":
+            return  # only completed shards are cached; timeouts re-run
+        counters = (
+            dict(outcome.collector.counters)
+            if outcome.collector is not None
+            else dict(outcome.counters)
+        )
+        cache.put(
+            info.fingerprint,
+            CachedShard(reports=outcome.reports, stats=outcome.stats, counters=counters),
+        )
+
+
+def run_engine(
+    program: ir.Program,
+    config: Optional[EngineConfig] = None,
+    collector: Optional[Collector] = None,
+) -> "GCatchResult":
+    """Convenience wrapper: one engine run over a lowered program."""
+    return DetectionEngine(program, config=config, collector=collector).run()

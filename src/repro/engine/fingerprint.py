@@ -1,0 +1,162 @@
+"""Content-addressed fingerprints for detection-engine shards.
+
+A primitive's BMOC analysis depends only on its post-disentangle scope:
+the SSA of every function reachable in its ``Pset`` scope, the identities
+of the primitives analyzed with it, the detector options, and the versions
+of the encoder and the decision procedure. Hashing exactly those inputs
+gives a key with the invalidation behaviour the engine's cache needs:
+
+* re-running over unchanged source produces the same keys (warm hits);
+* editing a function invalidates only the primitives whose scope contains
+  it — an unrelated edit is a 100% cache hit;
+* bumping :data:`~repro.constraints.encoding.ENCODER_VERSION` or
+  :data:`~repro.constraints.solver.SOLVER_VERSION` (or this module's
+  :data:`ENGINE_VERSION`) invalidates everything.
+
+Fingerprints are line-sensitive by design: bug reports carry source line
+numbers, so an edit that shifts a scope function's lines must re-analyze
+the primitives that would otherwise report stale locations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.primitives import Primitive
+from repro.constraints import encoding, solver
+from repro.ssa import ir
+
+#: version tag of the engine itself (shard layout, cache entry shape)
+ENGINE_VERSION = "1"
+
+
+def _operand(op: object, labels: Dict[int, str]) -> str:
+    if op is None:
+        return "_"
+    if isinstance(op, ir.Const):
+        return f"#{op.value!r}"
+    if isinstance(op, ir.Var):
+        return f"%{op.name}"
+    if isinstance(op, ir.FuncRef):
+        return f"@{op.name}"
+    if isinstance(op, ir.MethodRef):
+        return f"@?.{op.name}"
+    if isinstance(op, ir.Block):
+        return labels.get(id(op), "?b")
+    if isinstance(op, list):
+        return "[" + ",".join(_operand(v, labels) for v in op) + "]"
+    if dataclasses.is_dataclass(op) and not isinstance(op, type):
+        inner = ",".join(
+            f"{f.name}={_operand(getattr(op, f.name), labels)}"
+            for f in dataclasses.fields(op)
+        )
+        return f"{type(op).__name__}({inner})"
+    return repr(op)
+
+
+def _instr_sig(instr: ir.Instr, labels: Dict[int, str]) -> str:
+    parts = [type(instr).__name__]
+    for f in dataclasses.fields(instr):
+        parts.append(f"{f.name}={_operand(getattr(instr, f.name), labels)}")
+    return " ".join(parts)
+
+
+def function_digest(fn: ir.Function) -> str:
+    """Deterministic digest of one lowered function's SSA."""
+    blocks = fn.reachable_blocks()
+    labels = {id(b): f"b{i}" for i, b in enumerate(blocks)}
+    h = hashlib.sha256()
+    h.update(
+        (
+            f"func {fn.name}({','.join(fn.params)})->{fn.result_count}"
+            f" line={fn.decl_line} closure={fn.is_closure}"
+            f" free={','.join(fn.free_vars)}\n"
+        ).encode()
+    )
+    for block in blocks:
+        h.update((labels[id(block)] + ":\n").encode())
+        for instr in block.all_instrs():
+            h.update((_instr_sig(instr, labels) + "\n").encode())
+    return h.hexdigest()
+
+
+class ProgramDigests:
+    """Memoized per-function digests for one program (one engine run)."""
+
+    def __init__(self, program: ir.Program):
+        self.program = program
+        self._digests: Dict[str, str] = {}
+
+    def of(self, name: str) -> str:
+        digest = self._digests.get(name)
+        if digest is None:
+            digest = self._digests[name] = function_digest(self.program.functions[name])
+        return digest
+
+
+def _version_preamble() -> List[str]:
+    # read the tags dynamically so a (monkey-patched or real) version bump
+    # is always picked up
+    return [
+        f"engine={ENGINE_VERSION}",
+        f"encoder={encoding.ENCODER_VERSION}",
+        f"solver={solver.SOLVER_VERSION}",
+    ]
+
+
+def _options_line(
+    disentangle: bool, max_loop_unroll: int, prune_infeasible: bool,
+    solver_max_nodes: Optional[int],
+) -> str:
+    return (
+        f"opts disentangle={disentangle} unroll={max_loop_unroll} "
+        f"prune={prune_infeasible} max_nodes={solver_max_nodes}"
+    )
+
+
+def channel_fingerprint(
+    digests: ProgramDigests,
+    channel: Primitive,
+    pset: Iterable[Primitive],
+    scope_functions: Iterable[str],
+    *,
+    disentangle: bool = True,
+    max_loop_unroll: int = 2,
+    prune_infeasible: bool = True,
+    solver_max_nodes: Optional[int] = None,
+) -> str:
+    """Fingerprint of one channel's BMOC analysis scope."""
+    h = hashlib.sha256()
+    for line in _version_preamble():
+        h.update((line + "\n").encode())
+    h.update(
+        (
+            _options_line(disentangle, max_loop_unroll, prune_infeasible, solver_max_nodes)
+            + "\n"
+        ).encode()
+    )
+    h.update((f"channel {channel.site!r}\n").encode())
+    for site in sorted(repr(p.site) for p in pset):
+        h.update((f"pset {site}\n").encode())
+    program = digests.program
+    for name in sorted(set(scope_functions) & set(program.functions)):
+        h.update((f"fn {name} {digests.of(name)}\n").encode())
+    return h.hexdigest()
+
+
+def traditional_fingerprint(digests: ProgramDigests, checker: str) -> str:
+    """Fingerprint of one whole-program traditional checker run.
+
+    Traditional checkers consume the whole program (plus the alias
+    analysis), so any function edit invalidates them — their scope *is*
+    the program.
+    """
+    h = hashlib.sha256()
+    for line in _version_preamble():
+        h.update((line + "\n").encode())
+    h.update((f"checker {checker}\n").encode())
+    for name in sorted(digests.program.functions):
+        h.update((f"fn {name} {digests.of(name)}\n").encode())
+    return h.hexdigest()

@@ -12,6 +12,7 @@ from repro.obs.collector import (
     STAGE_DEPGRAPH,
     STAGE_DISENTANGLE,
     STAGE_ENCODE,
+    STAGE_ENGINE_SHARD,
     STAGE_PARSE,
     STAGE_PATH_ENUM,
     STAGE_SOLVE,
@@ -32,6 +33,7 @@ __all__ = [
     "STAGE_DEPGRAPH",
     "STAGE_DISENTANGLE",
     "STAGE_ENCODE",
+    "STAGE_ENGINE_SHARD",
     "STAGE_PARSE",
     "STAGE_PATH_ENUM",
     "STAGE_SOLVE",

@@ -44,6 +44,10 @@ STAGE_SUSPICIOUS = "suspicious-groups"
 STAGE_ENCODE = "encode"
 STAGE_SOLVE = "solve"
 
+#: one entry per detection-engine shard (a primitive's BMOC analysis or one
+#: traditional checker); aggregated like any other stage in the trace table
+STAGE_ENGINE_SHARD = "engine-shard"
+
 #: every GCatch stage, in pipeline order; a full ``Project.detect`` trace
 #: contains each of these exactly once in its aggregated stage table
 PIPELINE_STAGES: Tuple[str, ...] = (

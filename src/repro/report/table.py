@@ -51,9 +51,27 @@ def render_table(rows: List[Dict[str, str]], title: str = "") -> str:
     return "\n".join(lines)
 
 
-def render_bug_costs(reports, title: str = "Per-bug solver effort (Table 6 analogue)") -> str:
+#: distinct marker for decision-procedure/budget timeouts in cost tables;
+#: any other outcome renders as its plain name
+TIMEOUT_MARKER = "TIMEOUT !"
+
+
+def _outcome_cell(outcome: str) -> str:
+    if outcome == "timeout":
+        return TIMEOUT_MARKER
+    return outcome or "-"
+
+
+def render_bug_costs(
+    reports, title: str = "Per-bug solver effort (Table 6 analogue)", timeouts=None
+) -> str:
     """One row per BugReport: where it blocks plus the decision-procedure
-    cost behind it (clause count, search nodes, outcome)."""
+    cost behind it (clause count, search nodes, outcome).
+
+    ``timeouts`` (engine ``ShardInfo`` records whose budget ran out) append
+    one row each, flagged with :data:`TIMEOUT_MARKER` — an incomplete
+    analysis is surfaced next to the bugs it did manage to prove.
+    """
     rows = []
     for report in reports:
         where = "; ".join(str(op) for op in report.blocked_ops) or report.description
@@ -63,7 +81,17 @@ def render_bug_costs(reports, title: str = "Per-bug solver effort (Table 6 analo
                 where,
                 plain(report.clause_count),
                 plain(report.solver_nodes),
-                report.solver_outcome or "-",
+                _outcome_cell(report.solver_outcome),
+            ]
+        )
+    for shard in timeouts or ():
+        rows.append(
+            [
+                "(budget)",
+                f"analysis of {shard.label} incomplete",
+                "-",
+                "-",
+                TIMEOUT_MARKER,
             ]
         )
     return render_simple(["category", "bug", "clauses", "nodes", "outcome"], rows, title=title)

@@ -1,0 +1,76 @@
+"""Parity regression: the sharded engine must reproduce the serial detector.
+
+Every case in the evaluation bug set is detected twice — ``jobs=1``
+(serial path, no engine) and ``jobs=4`` (thread-pool engine) — and the
+sorted report sets must be identical down to category, lines, blocked
+operations, and solver outcome. This is the guarantee that makes ``--jobs``
+a pure performance knob.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.bugset import build_bug_set
+from repro.detector.gcatch import run_gcatch
+from repro.engine import ResultCache
+from repro.ssa.builder import build_program
+
+BUG_SET = build_bug_set()
+
+
+def detect_keys(program, **kwargs):
+    result = run_gcatch(program, **kwargs)
+    return sorted(
+        (
+            r.category,
+            tuple(r.lines),
+            tuple(sorted((op.kind, op.prim_label, op.line) for op in r.blocked_ops)),
+            r.solver_outcome,
+        )
+        for r in result.all_reports()
+    )
+
+
+@pytest.mark.parametrize("case", BUG_SET, ids=[c.case_id for c in BUG_SET])
+def test_parallel_detection_matches_serial(case):
+    program = build_program(case.source, case.case_id)
+    serial = detect_keys(program)
+    parallel = detect_keys(program, jobs=4)
+    assert parallel == serial
+
+
+@pytest.mark.parametrize(
+    "case", BUG_SET[::7], ids=[c.case_id for c in BUG_SET[::7]]
+)
+def test_warm_cache_matches_serial(case):
+    """A cache round-trip (cold store, warm load) must also preserve parity."""
+    program = build_program(case.source, case.case_id)
+    cache = ResultCache()
+    serial = detect_keys(program)
+    cold = detect_keys(program, jobs=2, cache=cache)
+    warm = detect_keys(program, jobs=2, cache=cache)
+    assert cold == serial
+    assert warm == serial
+
+
+def test_process_backend_parity_on_one_case():
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("no fork on this platform")
+    case = max(BUG_SET, key=lambda c: len(c.source))
+    program = build_program(case.source, case.case_id)
+    assert detect_keys(program, jobs=2, backend="process") == detect_keys(program)
+
+
+def test_whole_bugset_counts_match():
+    """Aggregate Table 1 counts are unchanged by sharding."""
+    serial_total = 0
+    engine_total = 0
+    for case in BUG_SET:
+        program = build_program(case.source, case.case_id)
+        serial_total += len(run_gcatch(program).all_reports())
+        engine_total += len(run_gcatch(program, jobs=4).all_reports())
+    assert engine_total == serial_total
+    assert serial_total > 0
