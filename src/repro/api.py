@@ -90,6 +90,9 @@ class Project:
         cache=None,
         budget_wall_seconds: Optional[float] = None,
         budget_solver_nodes: Optional[int] = None,
+        max_retries: Optional[int] = None,
+        retry_timeouts: bool = False,
+        checkers: Optional[List[str]] = None,
     ) -> GCatchResult:
         """Run GCatch (BMOC detector + the five traditional checkers).
 
@@ -98,6 +101,15 @@ class Project:
         ``cache`` (a :class:`repro.engine.ResultCache`) makes re-runs
         incremental; ``budget_*`` bound per-primitive effort, degrading
         to TIMEOUT markers instead of unbounded analysis.
+
+        Every analysis unit runs behind the :mod:`repro.resilience`
+        firewall: a crashing unit becomes an incident on the result
+        (``result.incidents``, ``result.health()``) instead of aborting
+        the run. ``max_retries`` (default: ``REPRO_MAX_RETRIES``, else 1)
+        bounds transient-failure retries; ``retry_timeouts`` retries a
+        solver-timeout shard once with a quartered node budget;
+        ``checkers`` (default: ``REPRO_CHECKERS``, else all) restricts
+        the traditional-checker set.
         """
         return run_gcatch(
             self.program,
@@ -108,6 +120,9 @@ class Project:
             cache=cache,
             budget_wall_seconds=budget_wall_seconds,
             budget_solver_nodes=budget_solver_nodes,
+            max_retries=max_retries,
+            retry_timeouts=retry_timeouts,
+            checkers=checkers,
         )
 
     # -- fixing -------------------------------------------------------------

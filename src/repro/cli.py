@@ -18,6 +18,13 @@ Commands mirror the paper's tooling:
 ``detect``/``fix`` accept ``--trace`` to append the per-stage table, and
 ``explore``/``diffcheck`` accept ``--json`` for scriptable output in the
 ``repro.obs`` stats schema.
+
+``detect``/``fix``/``stats`` also take the :mod:`repro.resilience` flags:
+``--strict`` (exit 4 on any incident instead of reporting degraded
+health), ``--max-retries``, ``--retry-timeouts``, and ``--faults``/
+``--fault-seed`` (deterministic fault injection; ``REPRO_FAULTS`` /
+``REPRO_FAULT_SEED`` are the ambient equivalents honoured by every
+command).
 """
 
 from __future__ import annotations
@@ -35,9 +42,43 @@ from repro.obs import Collector, json_dumps, render_stats
 #: "bugs found" (1) and "usage error" (2)
 EXIT_TIMEOUT = 3
 
+#: dedicated exit code for resilience failures: in ``--strict`` mode any
+#: incident (a crashed analysis unit, fix strategy, or validation) exits
+#: with this code; in the default mode only a ``failed`` health verdict
+#: (every unit lost) does. Takes precedence over EXIT_TIMEOUT and 1.
+EXIT_INCIDENT = 4
+
 
 def _load(path: str, collector: Optional[Collector] = None) -> Project:
     return Project.from_file(path, collector=collector)
+
+
+def _activate_faults(args) -> bool:
+    """Arm the fault-injection plan from ``--faults`` or ``REPRO_FAULTS``.
+
+    Returns True when a plan was activated (the caller must deactivate).
+    """
+    from repro.resilience import activate, plan_from_env
+    from repro.resilience.faultinject import FaultPlan
+
+    spec = getattr(args, "faults", None)
+    if spec:
+        activate(FaultPlan.parse(spec, seed=getattr(args, "fault_seed", 0) or 0))
+        return True
+    plan = plan_from_env()
+    if plan is not None:
+        activate(plan)
+        return True
+    return False
+
+
+def _health_exit(health: str, incidents, strict: bool) -> Optional[int]:
+    """The resilience exit-code policy, shared by detect/fix/stats."""
+    if strict and incidents:
+        return EXIT_INCIDENT
+    if health == "failed":
+        return EXIT_INCIDENT
+    return None
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
@@ -55,16 +96,27 @@ def cmd_detect(args: argparse.Namespace) -> int:
         cache=cache,
         budget_wall_seconds=args.budget_seconds,
         budget_solver_nodes=args.budget_nodes,
+        max_retries=args.max_retries,
+        retry_timeouts=args.retry_timeouts,
+        checkers=args.checkers,
     )
     reports = result.all_reports()
     timed_out = result.has_timeouts()
+    health = result.health()
     exit_code = 1 if reports else 0
     if args.fail_on_timeout and timed_out:
         exit_code = EXIT_TIMEOUT
+    incident_exit = _health_exit(health, result.incidents, args.strict)
+    if incident_exit is not None:
+        exit_code = incident_exit
     if not reports:
         print("no bugs detected")
         if timed_out:
             print(_timeout_summary(result))
+        if result.incidents or collector is not None:
+            from repro.report.table import render_health
+
+            print(render_health(health, result.incidents))
         if collector is not None:
             print()
             print(render_stats(collector))
@@ -77,6 +129,10 @@ def cmd_detect(args: argparse.Namespace) -> int:
           f"({result.elapsed_seconds:.2f}s)")
     if timed_out:
         print(_timeout_summary(result))
+    if result.incidents or collector is not None:
+        from repro.report.table import render_health
+
+        print(render_health(health, result.incidents))
     if collector is not None:
         from repro.report.table import render_bug_costs
 
@@ -102,11 +158,16 @@ def _timeout_summary(result) -> str:
 def cmd_fix(args: argparse.Namespace) -> int:
     collector = Collector(args.file) if args.trace else None
     project = _load(args.file, collector=collector)
-    result = project.detect()
+    result = project.detect(max_retries=args.max_retries, retry_timeouts=args.retry_timeouts)
     bugs = result.bmoc.bmoc_channel_bugs()
     if not bugs:
         print("no channel-only BMOC bugs to fix")
-        return 0
+        if result.incidents:
+            from repro.report.table import render_health
+
+            print(render_health(result.health(), result.incidents))
+        exit_code = _health_exit(result.health(), result.incidents, args.strict)
+        return exit_code if exit_code is not None else 0
     summary = project.fix_all(bugs)
     for fix in summary.results:
         print(f"-- {fix.report.description}")
@@ -118,6 +179,12 @@ def cmd_fix(args: argparse.Namespace) -> int:
         print()
     fixed = summary.fixed()
     print(f"fixed {len(fixed)}/{len(summary.results)} bug(s)")
+    incidents = list(result.incidents) + summary.incidents()
+    if incidents:
+        from repro.report.table import render_health
+
+        health = "degraded" if fixed or result.health() != "failed" else "failed"
+        print(render_health(health, incidents))
     if collector is not None:
         print()
         print(render_stats(collector))
@@ -126,7 +193,8 @@ def cmd_fix(args: argparse.Namespace) -> int:
         with open(args.file, "w") as handle:
             handle.write(patched)
         print(f"wrote patched source to {args.file}")
-    return 0
+    exit_code = _health_exit(result.health(), incidents, args.strict)
+    return exit_code if exit_code is not None else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -205,35 +273,49 @@ def cmd_stats(args: argparse.Namespace) -> int:
     """Full pipeline (detect → fix → explore) under one Collector."""
     collector = Collector(args.file)
     project = _load(args.file, collector=collector)
-    result = project.detect()
+    result = project.detect(max_retries=args.max_retries, retry_timeouts=args.retry_timeouts)
     reports = result.all_reports()
     summary = project.fix_all(result.bmoc.bmoc_channel_bugs())
     exploration = project.explore(
         entry=args.entry, max_runs=args.max_runs, max_steps=args.max_steps
     )
+    incidents = list(result.incidents) + summary.incidents()
+    health = result.health()
+    exit_code = _health_exit(health, incidents, args.strict)
+    if exit_code is None:
+        exit_code = 0
     if args.json:
         from repro.obs import snapshot
+        from repro.resilience import incidents_to_json
 
-        print(json_dumps(snapshot(collector, extra={
+        extra = {
             "file": args.file,
             "reports": len(reports),
             "fixed": len(summary.fixed()),
             "explored_runs": exploration.runs,
             "any_leak": exploration.any_leak,
-        })))
-        return 0
-    from repro.report.table import render_bug_costs
+            "health": health,
+        }
+        if incidents:
+            # optional block: absent on clean runs, so pre-resilience
+            # consumers of the repro.obs/1 schema see an unchanged shape
+            extra["incidents"] = incidents_to_json(incidents)
+        print(json_dumps(snapshot(collector, extra=extra)))
+        return exit_code
+    from repro.report.table import render_bug_costs, render_health
 
     print(f"{args.file}: {len(reports)} report(s), "
           f"{len(summary.fixed())}/{len(summary.results)} fixed, "
           f"{exploration.runs} schedule(s) explored"
           f"{' (leak found)' if exploration.any_leak else ''}")
+    if incidents or health != "ok":
+        print(render_health(health, incidents))
     print()
     if reports:
         print(render_bug_costs(reports))
         print()
     print(render_stats(collector))
-    return 0
+    return exit_code
 
 
 def cmd_nonblocking(args: argparse.Namespace) -> int:
@@ -274,6 +356,27 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_resilience_args(p: argparse.ArgumentParser) -> None:
+    """The resilience flags shared by detect/fix/stats."""
+    p.add_argument("--strict", action="store_true",
+                   help=f"exit with code {EXIT_INCIDENT} when any analysis "
+                        "unit crashed (default: report degraded health and "
+                        "keep the surviving results)")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="bound transient-failure retries per unit "
+                        "(default: REPRO_MAX_RETRIES, else 1)")
+    p.add_argument("--retry-timeouts", action="store_true",
+                   help="retry a solver-timeout shard once with a quartered "
+                        "node budget")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault-injection plan, e.g. "
+                        "'solve:raise' or 'cache-read@leakOne:corrupt' "
+                        "(default: REPRO_FAULTS)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for probabilistic fault rules (default: "
+                        "REPRO_FAULT_SEED for env-supplied plans, else 0)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -300,6 +403,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-primitive solver-node budget (TIMEOUT on exhaustion)")
     p.add_argument("--fail-on-timeout", action="store_true",
                    help=f"exit with code {EXIT_TIMEOUT} when any budget ran out")
+    p.add_argument("--checkers", nargs="*", default=None,
+                   help="restrict the traditional checkers to this subset "
+                        "(default: REPRO_CHECKERS, else all)")
+    _add_resilience_args(p)
     p.set_defaults(func=cmd_detect)
 
     p = sub.add_parser("fix", help="run GCatch + GFix; print patches")
@@ -307,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write", action="store_true", help="apply a single patch in place")
     p.add_argument("--trace", action="store_true",
                    help="append the per-stage observability table")
+    _add_resilience_args(p)
     p.set_defaults(func=cmd_fix)
 
     p = sub.add_parser("run", help="execute under seeded schedules")
@@ -344,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=20_000)
     p.add_argument("--json", action="store_true",
                    help="emit the trace as repro.obs-schema JSON")
+    _add_resilience_args(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("nonblocking", help="send-on-closed / double-close detection")
@@ -362,7 +471,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    armed = _activate_faults(args)
+    try:
+        return args.func(args)
+    finally:
+        if armed:
+            from repro.resilience import deactivate
+
+            deactivate()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,6 +44,7 @@ from repro.detector.paths import (
 )
 from repro.detector.reporting import BlockedOp, BugReport, dedup_reports
 from repro.detector.suspicious import enumerate_groups
+from repro.resilience.faultinject import maybe_fault
 
 
 class BudgetExceeded(Exception):
@@ -97,6 +98,7 @@ class AnalysisBudget:
 @dataclass
 class DetectionStats:
     channels_analyzed: int = 0
+    channels_failed: int = 0  # channels whose analysis crashed (firewalled)
     combinations: int = 0
     groups_checked: int = 0
     solver_calls: int = 0
@@ -109,6 +111,7 @@ class DetectionStats:
     def merge(self, other: "DetectionStats") -> None:
         """Fold another shard's stats into this one (repro.engine)."""
         self.channels_analyzed += other.channels_analyzed
+        self.channels_failed += other.channels_failed
         self.combinations += other.combinations
         self.groups_checked += other.groups_checked
         self.solver_calls += other.solver_calls
@@ -169,14 +172,29 @@ class BMOCDetector:
 
     # -- public ---------------------------------------------------------------
 
-    def detect(self) -> DetectionResult:
+    def detect(self, firewall=None) -> DetectionResult:
+        """Analyze every channel; with a ``firewall`` (a
+        :class:`repro.resilience.Firewall`) each channel is its own
+        isolation unit — one crashing analysis loses only that channel's
+        reports and is counted in ``stats.channels_failed``."""
         start = time.perf_counter()
         stats = DetectionStats()
         reports: List[BugReport] = []
         for channel in self.channels_to_analyze():
             chan_start = time.perf_counter()
             stats.channels_analyzed += 1
-            shard_reports, _ = self.analyze_channel(channel, stats)
+            if firewall is None:
+                shard_reports, _ = self.analyze_channel(channel, stats)
+            else:
+                guarded = firewall.call(
+                    lambda channel=channel: self.analyze_channel(channel, stats),
+                    site="shard",
+                    label=str(channel.site),
+                )
+                if not guarded.ok:
+                    stats.channels_failed += 1
+                    continue
+                shard_reports, _ = guarded.value
             reports.extend(shard_reports)
             stats.per_channel_seconds[str(channel.site)] = time.perf_counter() - chan_start
         stats.elapsed_seconds = time.perf_counter() - start
@@ -293,9 +311,11 @@ class BMOCDetector:
                 budget.check()
                 max_nodes = budget.per_solve_nodes() or self.solver_max_nodes
             stats.groups_checked += 1
+            maybe_fault(STAGE_ENCODE, str(channel.site))
             with collector.span(STAGE_ENCODE):
                 system = encode(combo, group, collector if collector else None)
             stats.solver_calls += 1
+            maybe_fault(STAGE_SOLVE, str(channel.site))
             with collector.span(STAGE_SOLVE):
                 outcome = solve_detailed(
                     system, collector if collector else None, max_nodes=max_nodes

@@ -1,8 +1,10 @@
 """repro.engine — parallel, incremental detection with result caching.
 
 See :mod:`repro.engine.engine` for the sharding/orchestration model,
-:mod:`repro.engine.fingerprint` for the content-addressing scheme, and
-:mod:`repro.engine.cache` for the two-tier result cache.
+:mod:`repro.engine.fingerprint` for the content-addressing scheme,
+:mod:`repro.engine.cache` for the two-tier result cache, and
+:mod:`repro.resilience` for the crash-isolation firewall every shard and
+cache probe runs behind.
 """
 
 from repro.engine.cache import CachedShard, ResultCache, cache_from_env

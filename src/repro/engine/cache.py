@@ -18,7 +18,16 @@ Disk layout (documented in README "Performance")::
     <cache-dir>/objects/<first two hex chars>/<sha256 fingerprint>.pkl
 
 A disk entry is one pickled :class:`CachedShard`. Unreadable or
-version-incompatible entries load as misses, never as errors.
+version-incompatible entries are **quarantined**: the corrupt file is
+deleted on first contact (counted in ``corrupt``) so it costs exactly one
+failed load, then behaves as an ordinary miss — never as an error, and
+never as a miss re-paid forever.
+
+Fault injection: the ``cache-read`` / ``cache-write`` sites of
+:mod:`repro.resilience.faultinject` fire here, keyed by fingerprint;
+``corrupt``-mode write faults persist garbage bytes (exercising the
+read-side quarantine end to end), ``raise``-mode faults surface as
+incidents in the engine's firewall.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from typing import Dict, List, Optional
 
 from repro.detector.bmoc import DetectionStats
 from repro.detector.reporting import BugReport
+from repro.resilience.faultinject import maybe_fault
 
 
 @dataclass
@@ -45,17 +55,26 @@ class CachedShard:
 
 
 class ResultCache:
-    """Memory + optional-disk shard cache with hit/miss accounting."""
+    """Memory + optional-disk shard cache with hit/miss/corruption accounting."""
 
     def __init__(self, path: Optional[str] = None):
         self.path = Path(path) if path else None
         self._memory: Dict[str, CachedShard] = {}
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0  # quarantined entries (deleted on first contact)
 
     # -- lookup ------------------------------------------------------------
 
     def get(self, key: str) -> Optional[CachedShard]:
+        if maybe_fault("cache-read", key):
+            # injected corruption: drop any live copy and quarantine disk
+            before = self.corrupt
+            self._quarantine(key)
+            if self._memory.pop(key, None) is not None and self.corrupt == before:
+                self.corrupt += 1
+            self.misses += 1
+            return None
         entry = self._memory.get(key)
         if entry is None and self.path is not None:
             entry = self._load(key)
@@ -85,28 +104,59 @@ class ResultCache:
         try:
             with open(target, "rb") as handle:
                 entry = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+        except FileNotFoundError:
             return None
-        return entry if isinstance(entry, CachedShard) else None
+        except (
+            OSError,
+            pickle.PickleError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            # garbage bytes surface as any of these from the unpickler
+            ValueError,
+            IndexError,
+            KeyError,
+            UnicodeDecodeError,
+        ):
+            self._quarantine(key)
+            return None
+        if not isinstance(entry, CachedShard):
+            self._quarantine(key)
+            return None
+        return entry
+
+    def _quarantine(self, key: str) -> None:
+        """Delete a corrupted disk entry so it costs exactly one failed load."""
+        if self.path is None:
+            return
+        try:
+            os.unlink(self._entry_path(key))
+        except OSError:
+            return
+        self.corrupt += 1
 
     def _store(self, key: str, entry: CachedShard) -> None:
         target = self._entry_path(key)
+        tmp: Optional[str] = None
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
             # write-then-rename so concurrent writers never expose torn files
             fd, tmp = tempfile.mkstemp(dir=str(target.parent), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
+            with os.fdopen(fd, "wb") as handle:
+                if maybe_fault("cache-write", key):
+                    handle.write(b"\x80corrupt-injected")
+                else:
                     pickle.dump(entry, handle)
-                os.replace(tmp, target)
-            except BaseException:
+            os.replace(tmp, target)
+            tmp = None
+        except (OSError, pickle.PicklingError, TypeError):
+            pass  # a cache that cannot persist is still a cache
+        finally:
+            if tmp is not None:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
-                raise
-        except (OSError, pickle.PickleError):
-            pass  # a cache that cannot persist is still a cache
 
 
 def cache_from_env() -> Optional[ResultCache]:

@@ -28,6 +28,15 @@ Observability: per-shard ``engine-shard`` spans, plus the ``cache.hit`` /
 ``cache.miss`` / ``cache.skipped-solver-calls`` / ``engine.timeout`` /
 ``engine.shards`` counters, all through the run's :mod:`repro.obs`
 collector.
+
+Resilience (:mod:`repro.resilience`): every shard and every cache probe
+runs behind an exception firewall — a crash anywhere inside one shard
+(path enumeration, encoding, the solver, a traditional checker, an
+injected fault) degrades into a structured ``Incident`` and a ``failed``
+shard record; every *other* shard's reports are kept. Transient failures
+(cache I/O, fork-pool worker death) retry with deterministic backoff,
+and a shard whose budget timed out can optionally retry once with a
+smaller per-solve node cap (``retry_timeouts``).
 """
 
 from __future__ import annotations
@@ -36,7 +45,7 @@ import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.detector.bmoc import AnalysisBudget, BMOCDetector, DetectionResult, DetectionStats
 from repro.detector.reporting import BugReport, dedup_reports
@@ -52,6 +61,8 @@ from repro.engine.fingerprint import (
     traditional_fingerprint,
 )
 from repro.obs import NULL, STAGE_ENGINE_SHARD, Collector, Span
+from repro.resilience.firewall import BrokenProcessPool, Firewall, RetryPolicy
+from repro.resilience.incidents import Incident, make_incident
 from repro.ssa import ir
 
 #: the five traditional checkers, in the fixed order the serial pipeline
@@ -78,6 +89,11 @@ class EngineConfig:
     disentangle: bool = True
     max_loop_unroll: int = 2
     prune_infeasible: bool = True
+    # resilience knobs (repro.resilience)
+    checkers: Optional[Sequence[str]] = None  # None = all TRADITIONAL_CHECKERS
+    max_retries: int = 1  # bounded retries for transient failures
+    retry_backoff: float = 0.0  # deterministic backoff base, seconds
+    retry_timeouts: bool = False  # retry TIMEOUT shards once, smaller budget
 
 
 @dataclass
@@ -88,7 +104,7 @@ class ShardInfo:
     label: str  # channel site repr or checker name
     fingerprint: str = ""
     seconds: float = 0.0
-    outcome: str = "ok"  # 'ok' | 'timeout' | 'cached'
+    outcome: str = "ok"  # 'ok' | 'timeout' | 'cached' | 'failed'
     reports: int = 0
 
 
@@ -101,6 +117,8 @@ class _ShardOutcome:
     timed_out: bool
     counters: Dict[str, int] = field(default_factory=dict)
     collector: Optional[Collector] = None
+    failed: bool = False
+    incident: Optional[Incident] = None
 
 
 # module-level slot a forked worker inherits; see _run_shard_in_worker
@@ -108,7 +126,10 @@ _FORKED_ENGINE: Optional["DetectionEngine"] = None
 
 
 def _run_shard_in_worker(index: int):
-    outcome = _FORKED_ENGINE._execute_shard(index)
+    # _execute_guarded, not _execute_shard: a crash inside a forked worker
+    # degrades into an Incident that ships back with the outcome instead of
+    # poisoning the pool
+    outcome = _FORKED_ENGINE._execute_guarded(index)
     # Collector objects hold locks and cannot cross the process boundary;
     # ship the counters and drop the span tree (the parent records one
     # engine-shard span from the measured seconds instead)
@@ -130,6 +151,13 @@ class DetectionEngine:
         self.program = program
         self.config = config or EngineConfig()
         self.collector = collector or NULL
+        self.firewall = Firewall(
+            collector=self.collector,
+            policy=RetryPolicy(
+                max_retries=self.config.max_retries,
+                backoff_base=self.config.retry_backoff,
+            ),
+        )
         self.detector: Optional[BMOCDetector] = None
         self._channels: List = []
         self._shards: List[ShardInfo] = []
@@ -150,7 +178,9 @@ class DetectionEngine:
             max_nodes_per_solve=cfg.solver_max_nodes,
         )
 
-    def _execute_shard(self, index: int) -> _ShardOutcome:
+    def _execute_shard(
+        self, index: int, budget: Optional[AnalysisBudget] = None
+    ) -> _ShardOutcome:
         info = self._shards[index]
         child = Collector(f"shard:{info.label}") if self.collector else None
         start = time.perf_counter()
@@ -161,7 +191,7 @@ class DetectionEngine:
                 channel = self._channels[index]
                 stats.channels_analyzed = 1
                 reports, timed_out = detector.analyze_channel(
-                    channel, stats, self._make_budget()
+                    channel, stats, budget or self._make_budget()
                 )
             else:
                 reports = self._run_checker(info.label)
@@ -178,6 +208,64 @@ class DetectionEngine:
             collector=child,
         )
 
+    def _execute_guarded(self, index: int) -> _ShardOutcome:
+        """One shard behind the firewall: a crash becomes a failed outcome
+        carrying its incident; the incident is *recorded* (once, in shard
+        order) by the reassembly loop, not here — this may run in a forked
+        worker whose firewall ledger never returns to the parent."""
+        info = self._shards[index]
+        start = time.perf_counter()
+        guarded = self.firewall.call(
+            lambda: self._execute_shard(index),
+            site="shard",
+            label=info.label,
+            record=False,
+        )
+        if guarded.ok:
+            outcome = guarded.value
+            if outcome.timed_out and self.config.retry_timeouts:
+                outcome = self._retry_with_smaller_budget(index, outcome)
+            return outcome
+        return _ShardOutcome(
+            index=index,
+            reports=[],
+            stats=DetectionStats(),
+            seconds=time.perf_counter() - start,
+            timed_out=False,
+            failed=True,
+            incident=guarded.incident,
+        )
+
+    def _retry_with_smaller_budget(
+        self, index: int, first: _ShardOutcome
+    ) -> _ShardOutcome:
+        """The solver-timeout transient path: one re-run with a per-solve
+        node cap a quarter of the original, so every solve gives up early
+        and the combination sweep itself can complete inside the budget."""
+        from repro.constraints.solver import MAX_NODES
+
+        if self._shards[index].kind != "bmoc":
+            return first
+        cap = (self.config.solver_max_nodes or MAX_NODES) // 4 or 1
+        budget = AnalysisBudget(
+            wall_seconds=self.config.budget_wall_seconds,
+            solver_nodes=self.config.budget_solver_nodes,
+            max_nodes_per_solve=cap,
+        )
+        if self.collector:
+            self.collector.count("resilience.retry")
+        guarded = self.firewall.call(
+            lambda: self._execute_shard(index, budget=budget),
+            site="shard",
+            label=self._shards[index].label,
+            record=False,
+        )
+        if guarded.ok and not guarded.value.timed_out:
+            return guarded.value
+        if self.collector:
+            self.collector.count("resilience.gave-up")
+        return first
+
     def _run_checker(self, name: str) -> List[BugReport]:
         detector = self.detector
         if name == "forget-unlock":
@@ -190,7 +278,10 @@ class DetectionEngine:
             return check_struct_races(self.program, detector.alias)
         if name == "fatal-goroutine":
             return check_fatal_goroutine(self.program, detector.call_graph)
-        raise ValueError(f"unknown traditional checker: {name}")
+        raise ValueError(
+            f"unknown traditional checker: {name!r} "
+            f"(valid checkers: {', '.join(TRADITIONAL_CHECKERS)})"
+        )
 
     # -- orchestration -----------------------------------------------------
 
@@ -200,16 +291,15 @@ class DetectionEngine:
         obs = self.collector
         cfg = self.config
         start = time.perf_counter()
+        corrupt_before = cfg.cache.corrupt if cfg.cache is not None else 0
         with obs.span("gcatch"):
-            self.detector = BMOCDetector(
-                self.program,
-                disentangle=cfg.disentangle,
-                max_loop_unroll=cfg.max_loop_unroll,
-                prune_infeasible=cfg.prune_infeasible,
-                collector=obs,
-                solver_max_nodes=cfg.solver_max_nodes,
+            prepared = self.firewall.call(
+                self._prepare, site="detect-init", label=self.program.filename or ""
             )
-            self._plan_shards()
+            if not prepared.ok:
+                # a pipeline-level crash before sharding: nothing to salvage,
+                # but the caller still gets a structured (failed) result
+                return self._aborted_result(start)
             cached, pending = self._probe_cache()
             executed = self._execute(pending)
         outcomes: Dict[int, _ShardOutcome] = {}
@@ -223,6 +313,11 @@ class DetectionEngine:
             outcome = outcomes[index]
             info.seconds = outcome.seconds
             info.reports = len(outcome.reports)
+            if outcome.failed:
+                info.outcome = "failed"
+                if outcome.incident is not None:
+                    self.firewall.record(outcome.incident)
+                continue
             if outcome.timed_out:
                 info.outcome = "timeout"
             agg.merge(outcome.stats)
@@ -237,6 +332,7 @@ class DetectionEngine:
             bmoc=DetectionResult(reports=dedup_reports(bmoc_reports), stats=agg),
             traditional=dedup_reports(traditional),
             shards=list(self._shards),
+            incidents=list(self.firewall.incidents),
         )
         result.elapsed_seconds = agg.elapsed_seconds
         if obs:
@@ -244,7 +340,37 @@ class DetectionEngine:
             obs.count("detect.channels", agg.channels_analyzed)
             obs.count("detect.groups", agg.groups_checked)
             obs.count("detect.reports", len(result.all_reports()))
+            if cfg.cache is not None and cfg.cache.corrupt > corrupt_before:
+                obs.count("cache.corrupt", cfg.cache.corrupt - corrupt_before)
             result.trace = obs
+        return result
+
+    def _prepare(self) -> None:
+        cfg = self.config
+        self.detector = BMOCDetector(
+            self.program,
+            disentangle=cfg.disentangle,
+            max_loop_unroll=cfg.max_loop_unroll,
+            prune_infeasible=cfg.prune_infeasible,
+            collector=self.collector,
+            solver_max_nodes=cfg.solver_max_nodes,
+        )
+        self._plan_shards()
+
+    def _aborted_result(self, start: float) -> "GCatchResult":
+        from repro.detector.gcatch import GCatchResult
+
+        stats = DetectionStats()
+        stats.elapsed_seconds = time.perf_counter() - start
+        result = GCatchResult(
+            bmoc=DetectionResult(reports=[], stats=stats),
+            traditional=[],
+            shards=[],
+            incidents=list(self.firewall.incidents),
+        )
+        result.elapsed_seconds = stats.elapsed_seconds
+        if self.collector:
+            result.trace = self.collector
         return result
 
     def _plan_shards(self) -> None:
@@ -253,9 +379,12 @@ class DetectionEngine:
             ShardInfo(kind="bmoc", label=str(channel.site))
             for channel in self._channels
         ]
-        self._shards.extend(
-            ShardInfo(kind="traditional", label=name) for name in TRADITIONAL_CHECKERS
-        )
+        # an unknown checker name (config/env typo) still gets a shard: it
+        # fails inside the firewall and degrades the run instead of
+        # aborting it, and its incident message names the valid set
+        names = self.config.checkers
+        names = list(TRADITIONAL_CHECKERS) if names is None else list(names)
+        self._shards.extend(ShardInfo(kind="traditional", label=name) for name in names)
         if self.config.cache is not None:
             self._fingerprint_shards()
 
@@ -291,7 +420,16 @@ class DetectionEngine:
         cached: Dict[int, _ShardOutcome] = {}
         pending: List[int] = []
         for index, info in enumerate(self._shards):
-            entry = cache.get(info.fingerprint) if cache is not None else None
+            entry = None
+            if cache is not None:
+                # a crash while probing (cache I/O, injected fault) is an
+                # incident and an ordinary miss: the shard simply re-runs
+                probe = self.firewall.call(
+                    lambda key=info.fingerprint: cache.get(key),
+                    site="cache-read",
+                    label=info.label,
+                )
+                entry = probe.value if probe.ok else None
             if entry is None:
                 pending.append(index)
                 continue
@@ -309,26 +447,43 @@ class DetectionEngine:
     def _execute(self, pending: List[int]) -> Dict[int, _ShardOutcome]:
         jobs = max(1, self.config.jobs)
         if jobs == 1 or len(pending) <= 1:
-            return {i: self._execute_shard(i) for i in pending}
+            return {i: self._execute_guarded(i) for i in pending}
         backend = self.config.backend
         if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
             backend = "thread"
         if backend == "process":
             return self._execute_process(pending, jobs)
         with ThreadPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(self._execute_shard, pending))
+            outcomes = list(pool.map(self._execute_guarded, pending))
         return {o.index: o for o in outcomes}
 
     def _execute_process(self, pending: List[int], jobs: int) -> Dict[int, _ShardOutcome]:
+        """Fork-pool execution with the worker-death transient path: a
+        broken pool is retried (fresh pool, bounded by ``max_retries``),
+        then degrades to guarded in-process execution — shard results are
+        never lost to pool mechanics."""
         global _FORKED_ENGINE
         context = multiprocessing.get_context("fork")
-        _FORKED_ENGINE = self
-        try:
-            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-                outcomes = list(pool.map(_run_shard_in_worker, pending))
-        finally:
-            _FORKED_ENGINE = None
-        return {o.index: o for o in outcomes}
+        attempts = 0
+        while attempts <= max(0, self.config.max_retries):
+            _FORKED_ENGINE = self
+            try:
+                with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+                    outcomes = list(pool.map(_run_shard_in_worker, pending))
+                return {o.index: o for o in outcomes}
+            except BrokenProcessPool as exc:
+                attempts += 1
+                if self.collector:
+                    self.collector.count("resilience.retry")
+                broken = exc
+            finally:
+                _FORKED_ENGINE = None
+        self.firewall.record(
+            make_incident("pool", "process-pool", broken, attempts=attempts, transient=True)
+        )
+        if self.collector:
+            self.collector.count("resilience.gave-up")
+        return {i: self._execute_guarded(i) for i in pending}
 
     # -- result assembly ---------------------------------------------------
 
@@ -360,9 +515,15 @@ class DetectionEngine:
             if outcome.collector is not None
             else dict(outcome.counters)
         )
-        cache.put(
-            info.fingerprint,
-            CachedShard(reports=outcome.reports, stats=outcome.stats, counters=counters),
+        entry = CachedShard(
+            reports=outcome.reports, stats=outcome.stats, counters=counters
+        )
+        # a failed store (cache I/O, injected fault) is an incident, not an
+        # abort: the reports are already in hand, only persistence is lost
+        self.firewall.call(
+            lambda: cache.put(info.fingerprint, entry),
+            site="cache-write",
+            label=info.label,
         )
 
 

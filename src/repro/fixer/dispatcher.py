@@ -5,6 +5,12 @@ attempts Strategy I, then II, then III — the order that yields the simplest
 (most readable) patch, matching the paper's configuration (§5.1). Timing is
 recorded in two phases, preprocessing (IR + call graph + alias analysis,
 ~98% of GFix's time in the paper) and transformation.
+
+Each strategy attempt runs behind the :mod:`repro.resilience` firewall
+(injection site ``fix-apply``): a crashing patcher becomes an
+:class:`~repro.resilience.incidents.Incident` on the :class:`FixResult`
+and the dispatcher falls through to the next strategy — one bad strategy
+never aborts a batch fix run.
 """
 
 from __future__ import annotations
@@ -18,6 +24,9 @@ from repro.analysis.callgraph import build_call_graph
 from repro.detector.reporting import BugReport
 from repro.fixer.patch import Patch
 from repro.obs import NULL, Collector
+from repro.resilience.faultinject import maybe_fault
+from repro.resilience.firewall import Firewall
+from repro.resilience.incidents import Incident
 from repro.fixer.safety import REASON_NO_PATTERN, BugShape, analyze_shape
 from repro.fixer.strategy_buffer import try_strategy_buffer
 from repro.fixer.strategy_defer import try_strategy_defer
@@ -34,6 +43,8 @@ class FixResult:
     reason: Optional[str] = None  # why no patch was generated
     preprocess_seconds: float = 0.0
     transform_seconds: float = 0.0
+    # strategies that crashed (firewalled) while fixing this bug
+    incidents: List[Incident] = field(default_factory=list)
 
     @property
     def fixed(self) -> bool:
@@ -49,6 +60,10 @@ class GFixSummary:
     results: List[FixResult] = field(default_factory=list)
     # the run's observability collector, when fixing ran with one
     trace: Optional[Collector] = None
+
+    def incidents(self) -> List[Incident]:
+        """Every strategy crash across the batch, in bug order."""
+        return [incident for r in self.results for incident in r.incidents]
 
     def fixed(self) -> List[FixResult]:
         return [r for r in self.results if r.fixed]
@@ -74,6 +89,7 @@ class GFix:
         self.program = program
         self.source = source
         self.collector = collector or NULL
+        self.firewall = Firewall(collector=self.collector)
         # preprocessing mirrors the paper's: SSA conversion happened in the
         # builder; here the call graph and alias analysis are (re)computed
         with self.collector.span("fix-preprocess"):
@@ -84,6 +100,7 @@ class GFix:
     def fix(self, report: BugReport) -> FixResult:
         """Classify the bug and attempt Strategies I → II → III."""
         start = time.perf_counter()
+        incidents_before = len(self.firewall.incidents)
         result = FixResult(report=report, preprocess_seconds=self.preprocess_seconds)
         with self.collector.span("fix-transform"):
             if report.category != "bmoc-chan" or report.primitive is None:
@@ -104,6 +121,7 @@ class GFix:
             result.reason = shape.reject_reason or REASON_NO_PATTERN
             if self.collector:
                 self.collector.count("fix.unfixed")
+        result.incidents = list(self.firewall.incidents[incidents_before:])
         result.transform_seconds = time.perf_counter() - start
         return result
 
@@ -127,10 +145,21 @@ class GFix:
 
     def _attempt(self, shape: BugShape) -> Optional[Patch]:
         collector = self.collector
+        label_suffix = shape.channel.site.label or ""
         for name, attempt in self._STRATEGIES:
             if collector:
                 collector.count(f"fix.attempt.{name}")
-            patch = attempt(self, shape)
+            # a crashing strategy is an incident, not an abort: fall
+            # through to the next strategy exactly as on a clean None
+            guarded = self.firewall.call(
+                lambda name=name, attempt=attempt: (
+                    maybe_fault("fix-apply", f"{name}:{label_suffix}"),
+                    attempt(self, shape),
+                )[1],
+                site="fix-apply",
+                label=f"{name}:{label_suffix}",
+            )
+            patch = guarded.value if guarded.ok else None
             if patch is not None:
                 if collector:
                     collector.count(f"fix.fixed.{name}")

@@ -25,15 +25,35 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.detector.bmoc import detect_bmoc
 from repro.fixer.dispatcher import FixResult
+from repro.resilience.faultinject import maybe_fault
+from repro.resilience.firewall import Firewall
+from repro.resilience.incidents import Incident
 from repro.runtime.explorer import explore
 from repro.runtime.scheduler import run_program
 from repro.ssa.builder import build_program
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ValidationDowngrade:
+    """Structured record of an exhaustive→sampled validation downgrade."""
+
+    which: str  # "original" or "patched": whose schedule space blew the bound
+    max_runs: int  # the exploration bound that was exceeded
+    seeds: int  # how many seeded schedules the fallback sampled
+
+    @property
+    def reason(self) -> str:
+        return (
+            f"schedule space of the {self.which} program exceeds the "
+            f"exploration bound ({self.max_runs} runs); falling back to "
+            f"{self.seeds} seeded schedules"
+        )
 
 
 @dataclass
@@ -49,6 +69,8 @@ class PatchValidation:
     comparable_schedules: int = 0
     exhaustive: bool = False  # dynamic verdicts cover the whole schedule space
     fallback: bool = False  # bound exceeded: reverted to seeded sampling
+    downgrade: Optional[ValidationDowngrade] = None  # why, when fallback is True
+    incident: Optional[Incident] = None  # validation itself crashed (firewalled)
 
     @property
     def dynamic_clean(self) -> bool:
@@ -60,9 +82,19 @@ class PatchValidation:
 
     @property
     def correct(self) -> bool:
-        return self.static_clean and self.dynamic_clean and self.semantics_preserved
+        return (
+            self.incident is None
+            and self.static_clean
+            and self.dynamic_clean
+            and self.semantics_preserved
+        )
 
     def render(self) -> str:
+        if self.incident is not None:
+            return (
+                f"ERROR (entry {self.entry}): validation crashed — "
+                f"{self.incident.exception}: {self.incident.message}"
+            )
         verdict = "CORRECT" if self.correct else "REJECTED"
         mode = "exhaustive" if self.exhaustive else "sampled"
         parts = [
@@ -72,6 +104,8 @@ class PatchValidation:
             f"  semantics: {self.comparable_schedules} comparable schedules, "
             f"{len(self.semantics_mismatches)} mismatches",
         ]
+        if self.downgrade is not None:
+            parts.append(f"  downgrade: {self.downgrade.reason}")
         return "\n".join(parts)
 
 
@@ -97,40 +131,61 @@ def validate_patch(
     obs = collector or NULL
     if fix.patch is None:
         raise ValueError("fix produced no patch to validate")
-    patched_source = fix.patch.apply()
-    original = build_program(original_source, "original.go")
-    patched = build_program(patched_source, "patched.go")
 
     validation = PatchValidation(entry=entry)
+    firewall = Firewall(collector=obs)
     with obs.span("validate"):
-        validation.static_clean = _static_clean(patched, fix)
-
-        patched_exp = explore(
-            patched, entry=entry, max_runs=max_runs, max_steps=max_steps, collector=collector
+        guarded = firewall.call(
+            lambda: _validate_body(
+                validation, original_source, fix, entry, seeds, max_steps, max_runs, collector
+            ),
+            site="validate",
+            label=entry,
         )
-        original_exp = explore(
-            original, entry=entry, max_runs=max_runs, max_steps=max_steps, collector=collector
-        )
-        if patched_exp.complete and original_exp.complete:
-            _check_exhaustive(validation, original_exp, patched_exp)
-        else:
-            which = "patched" if not patched_exp.complete else "original"
-            logger.warning(
-                "schedule space of the %s program exceeds the exploration bound "
-                "(%d runs); falling back to %d seeded schedules for entry %r",
-                which,
-                max_runs,
-                seeds,
-                entry,
-            )
-            validation.fallback = True
-            _check_sampled(validation, original, patched, entry, seeds, max_steps)
+    if not guarded.ok:
+        validation.incident = guarded.incident
     if obs:
         obs.count("validate.patches")
         obs.count("validate.samples", validation.schedules_run)
         obs.count("validate.fallback" if validation.fallback else "validate.exhaustive")
         obs.count("validate.mismatches", len(validation.semantics_mismatches))
+        if validation.downgrade is not None:
+            obs.count("validate.downgrade")
     return validation
+
+
+def _validate_body(
+    validation: PatchValidation,
+    original_source: str,
+    fix: FixResult,
+    entry: str,
+    seeds: int,
+    max_steps: int,
+    max_runs: int,
+    collector,
+) -> None:
+    """The three checks; runs behind the ``validate`` firewall site."""
+    maybe_fault("validate", entry)
+    patched_source = fix.patch.apply()
+    original = build_program(original_source, "original.go")
+    patched = build_program(patched_source, "patched.go")
+
+    validation.static_clean = _static_clean(patched, fix)
+
+    patched_exp = explore(
+        patched, entry=entry, max_runs=max_runs, max_steps=max_steps, collector=collector
+    )
+    original_exp = explore(
+        original, entry=entry, max_runs=max_runs, max_steps=max_steps, collector=collector
+    )
+    if patched_exp.complete and original_exp.complete:
+        _check_exhaustive(validation, original_exp, patched_exp)
+    else:
+        which = "patched" if not patched_exp.complete else "original"
+        validation.downgrade = ValidationDowngrade(which=which, max_runs=max_runs, seeds=seeds)
+        logger.warning("%s (entry %r)", validation.downgrade.reason, entry)
+        validation.fallback = True
+        _check_sampled(validation, original, patched, entry, seeds, max_steps)
 
 
 def _check_exhaustive(validation, original_exp, patched_exp) -> None:

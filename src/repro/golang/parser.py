@@ -577,4 +577,7 @@ class Parser:
 
 def parse_file(source: str, filename: str = "<minigo>") -> ast.File:
     """Parse MiniGo ``source`` into a :class:`repro.golang.ast_nodes.File`."""
+    from repro.resilience.faultinject import maybe_fault
+
+    maybe_fault("parse", filename)
     return Parser(source, filename).parse_file()

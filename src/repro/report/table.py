@@ -97,6 +97,34 @@ def render_bug_costs(
     return render_simple(["category", "bug", "clauses", "nodes", "outcome"], rows, title=title)
 
 
+def render_health(status: str, incidents=()) -> str:
+    """The run-report health section: overall status plus one row per
+    :class:`repro.resilience.incidents.Incident` (site, label, exception,
+    attempts, digest). An ``ok`` run renders as a single line.
+    """
+    header = f"health: {status}"
+    if not incidents:
+        return header
+    rows = []
+    for incident in incidents:
+        rows.append(
+            [
+                incident.site,
+                incident.label or "-",
+                incident.exception,
+                str(incident.attempts),
+                "yes" if incident.transient else "no",
+                incident.digest,
+            ]
+        )
+    table = render_simple(
+        ["site", "label", "exception", "attempts", "transient", "digest"],
+        rows,
+        title=f"{header} — {len(incidents)} incident(s)",
+    )
+    return table
+
+
 def render_simple(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
     widths = [
         max(len(headers[i]), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])

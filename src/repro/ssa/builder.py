@@ -972,9 +972,11 @@ def build_program(source: str, filename: str = "<minigo>", collector=None) -> ir
     and ``ssa-build`` stage spans of the pipeline trace.
     """
     from repro.obs import NULL, STAGE_PARSE, STAGE_SSA
+    from repro.resilience.faultinject import maybe_fault
 
     obs = collector or NULL
     with obs.span(STAGE_PARSE):
         file = parse_file(source, filename)
     with obs.span(STAGE_SSA):
+        maybe_fault(STAGE_SSA, filename)
         return ModuleBuilder(file).build()

@@ -1,0 +1,562 @@
+"""Unit tests for repro.resilience: fault plans, the firewall, incidents,
+health classification, cache quarantine, checker selection, validation
+downgrades and the CLI exit-code policy."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.cli import EXIT_INCIDENT, main
+from repro.detector.gcatch import run_gcatch
+from repro.obs import Collector
+from repro.resilience import (
+    CORRUPT,
+    FAULT_SITES,
+    FaultInjected,
+    FaultPlan,
+    Firewall,
+    HEALTH_DEGRADED,
+    HEALTH_FAILED,
+    HEALTH_OK,
+    Incident,
+    RetryPolicy,
+    injected,
+    is_transient,
+    make_incident,
+    maybe_fault,
+    overall_health,
+)
+from tests.conftest import build
+
+LEAK_TWO = """
+func leakOne() {
+	alpha := make(chan int)
+	go func() {
+		alpha <- 1
+	}()
+}
+
+func leakTwo() {
+	bravo := make(chan int)
+	go func() {
+		bravo <- 2
+	}()
+}
+
+func main() {
+	leakOne()
+	leakTwo()
+}
+"""
+
+
+# -- fault-plan parsing ------------------------------------------------------
+
+
+class TestFaultPlanParsing:
+    def test_simple_rule(self):
+        plan = FaultPlan.parse("solve:raise")
+        assert len(plan.rules) == 1
+        rule = plan.rules[0]
+        assert rule.site == "solve" and rule.mode == "raise" and rule.label == ""
+
+    def test_default_mode_is_raise(self):
+        assert FaultPlan.parse("parse").rules[0].mode == "raise"
+
+    def test_label_and_options(self):
+        rule = FaultPlan.parse("encode@alpha:raise-transient:n=3:times=2").rules[0]
+        assert rule.site == "encode"
+        assert rule.label == "alpha"
+        assert rule.mode == "raise-transient"
+        assert rule.n == 3 and rule.times == 2
+
+    def test_multiple_rules(self):
+        plan = FaultPlan.parse("solve:raise; cache-read:corrupt")
+        assert [r.site for r in plan.rules] == ["solve", "cache-read"]
+
+    def test_render_round_trips(self):
+        spec = "solve@alpha:raise:times=1;encode:stall:ms=5"
+        assert FaultPlan.parse(FaultPlan.parse(spec).render()).render() == (
+            FaultPlan.parse(spec).render()
+        )
+
+    def test_unknown_site_names_valid_set(self):
+        with pytest.raises(ValueError, match="valid sites"):
+            FaultPlan.parse("warp:raise")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="valid modes"):
+            FaultPlan.parse("solve:explode")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault option"):
+            FaultPlan.parse("solve:raise:q=1")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="no rules"):
+            FaultPlan.parse(" ; ")
+
+    def test_all_documented_sites_parse(self):
+        for site in FAULT_SITES:
+            assert FaultPlan.parse(f"{site}:raise").rules[0].site == site
+
+
+# -- fault-plan firing -------------------------------------------------------
+
+
+class TestFaultPlanFiring:
+    def test_raise_fires_with_site_and_label(self):
+        plan = FaultPlan.parse("solve:raise")
+        with pytest.raises(FaultInjected) as exc:
+            plan.fire("solve", "chan@f:1:alpha")
+        assert exc.value.site == "solve"
+        assert exc.value.label == "chan@f:1:alpha"
+        assert not exc.value.transient
+
+    def test_label_substring_filter(self):
+        plan = FaultPlan.parse("solve@alpha:raise")
+        assert plan.fire("solve", "chan@f:1:bravo") is None
+        with pytest.raises(FaultInjected):
+            plan.fire("solve", "chan@f:1:alpha")
+
+    def test_other_sites_unaffected(self):
+        plan = FaultPlan.parse("solve:raise")
+        assert plan.fire("encode", "x") is None
+
+    def test_nth_call_only(self):
+        plan = FaultPlan.parse("solve:raise:n=2")
+        assert plan.fire("solve", "u") is None
+        with pytest.raises(FaultInjected):
+            plan.fire("solve", "u")
+        assert plan.fire("solve", "u") is None
+
+    def test_counts_are_per_label(self):
+        # each unit counts its own calls: n=1 fires once for EVERY label,
+        # which is what makes serial and jobs=4 degrade identically
+        plan = FaultPlan.parse("solve:raise:n=1")
+        with pytest.raises(FaultInjected):
+            plan.fire("solve", "alpha")
+        with pytest.raises(FaultInjected):
+            plan.fire("solve", "bravo")
+
+    def test_times_bounds_total_fires(self):
+        plan = FaultPlan.parse("solve:raise-transient:times=1")
+        with pytest.raises(FaultInjected) as exc:
+            plan.fire("solve", "u")
+        assert exc.value.transient
+        assert plan.fire("solve", "u") is None
+
+    def test_corrupt_returns_sentinel(self):
+        plan = FaultPlan.parse("cache-read:corrupt")
+        assert plan.fire("cache-read", "k") == CORRUPT
+
+    def test_probability_is_seed_deterministic(self):
+        a = [FaultPlan.parse("solve:corrupt:p=0.5", seed=7).fire("solve", str(i))
+             for i in range(32)]
+        b = [FaultPlan.parse("solve:corrupt:p=0.5", seed=7).fire("solve", str(i))
+             for i in range(32)]
+        assert a == b
+        assert any(x == CORRUPT for x in a) and any(x is None for x in a)
+
+    def test_maybe_fault_noop_without_plan(self):
+        assert maybe_fault("solve", "anything") is False
+
+    def test_injected_scopes_activation(self):
+        with injected("solve:corrupt"):
+            assert maybe_fault("solve", "u") is True
+        assert maybe_fault("solve", "u") is False
+
+
+# -- firewall ----------------------------------------------------------------
+
+
+class TestFirewall:
+    def test_ok_call_passes_value(self):
+        fw = Firewall()
+        guarded = fw.call(lambda: 42, site="shard")
+        assert guarded.ok and guarded.value == 42 and not fw.incidents
+
+    def test_crash_becomes_incident(self):
+        collector = Collector()
+        fw = Firewall(collector=collector)
+        guarded = fw.call(lambda: 1 / 0, site="shard", label="alpha")
+        assert not guarded.ok
+        incident = guarded.incident
+        assert incident.site == "shard" and incident.label == "alpha"
+        assert incident.exception == "ZeroDivisionError"
+        assert len(incident.digest) == 12
+        assert fw.incidents == [incident]
+        assert collector.counters["resilience.incident"] == 1
+
+    def test_transient_crash_retries_then_succeeds(self):
+        collector = Collector()
+        fw = Firewall(collector=collector, policy=RetryPolicy(max_retries=2))
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise OSError("disk hiccup")
+            return "fine"
+
+        guarded = fw.call(flaky, site="cache-read")
+        assert guarded.ok and guarded.value == "fine"
+        assert len(calls) == 2
+        assert collector.counters["resilience.retry"] == 1
+        assert "resilience.gave-up" not in collector.counters
+
+    def test_retries_exhausted_counts_gave_up(self):
+        collector = Collector()
+        fw = Firewall(collector=collector, policy=RetryPolicy(max_retries=2))
+
+        def always(): raise EOFError("truncated")
+
+        guarded = fw.call(always, site="cache-read")
+        assert not guarded.ok
+        assert guarded.incident.attempts == 3
+        assert guarded.incident.transient
+        assert collector.counters["resilience.retry"] == 2
+        assert collector.counters["resilience.gave-up"] == 1
+
+    def test_nontransient_never_retried(self):
+        fw = Firewall(policy=RetryPolicy(max_retries=5))
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("logic error")
+
+        assert not fw.call(boom, site="shard").ok
+        assert len(calls) == 1
+
+    def test_reraise_passthrough(self):
+        fw = Firewall()
+        with pytest.raises(KeyError):
+            fw.call(lambda: (_ for _ in ()).throw(KeyError("x")), site="s",
+                    reraise=(KeyError,))
+
+    def test_record_false_defers_ledger(self):
+        fw = Firewall()
+        guarded = fw.call(lambda: 1 / 0, site="shard", record=False)
+        assert not guarded.ok and not fw.incidents
+        fw.record(guarded.incident)
+        assert fw.incidents == [guarded.incident]
+
+    def test_injected_transient_fault_is_retryable(self):
+        assert is_transient(FaultInjected("solve", transient=True))
+        assert not is_transient(FaultInjected("solve"))
+
+
+# -- incidents and health ----------------------------------------------------
+
+
+class TestIncidents:
+    def test_fault_site_overrides_firewall_site(self):
+        # a fault injected at 'solve' is reported at 'solve' even when the
+        # shard-level firewall is what caught it
+        try:
+            raise FaultInjected("solve", "alpha")
+        except FaultInjected as exc:
+            incident = make_incident("shard", "alpha", exc)
+        assert incident.site == "solve"
+
+    def test_digest_stable_across_raises(self):
+        def crash():
+            try:
+                raise ValueError("boom")
+            except ValueError as exc:
+                return make_incident("shard", "u", exc)
+
+        assert crash().digest == crash().digest
+
+    def test_message_truncated(self):
+        try:
+            raise ValueError("x" * 500)
+        except ValueError as exc:
+            incident = make_incident("shard", "u", exc)
+        assert len(incident.message) == 200
+
+    def test_incident_is_picklable(self):
+        try:
+            raise ValueError("boom")
+        except ValueError as exc:
+            incident = make_incident("shard", "u", exc)
+        clone = pickle.loads(pickle.dumps(incident))
+        assert clone == incident
+
+    def test_health_classification(self):
+        crash = Incident("shard", "u", "ValueError", "boom", "0" * 12)
+        assert overall_health([], 5, 0) == HEALTH_OK
+        assert overall_health([crash], 5, 1) == HEALTH_DEGRADED
+        assert overall_health([crash], 5, 5) == HEALTH_FAILED
+        assert overall_health([crash], 0, 0) == HEALTH_FAILED
+        assert overall_health([crash], None, 0) == HEALTH_FAILED
+
+
+# -- cache quarantine (satellite a) ------------------------------------------
+
+
+class TestCacheQuarantine:
+    def _warm(self, tmp_path):
+        from repro.engine import ResultCache
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        program = build(LEAK_TWO)
+        run_gcatch(program, jobs=1, cache=cache)
+        return cache, program
+
+    def test_corrupt_entry_quarantined_on_read(self, tmp_path):
+        cache, program = self._warm(tmp_path)
+        paths = sorted((tmp_path / "cache").rglob("*.pkl"))
+        assert paths
+        paths[0].write_bytes(b"not a pickle at all")
+        fresh_cache = type(cache)(str(tmp_path / "cache"))
+        result = run_gcatch(program, jobs=1, cache=fresh_cache)
+        # the corrupted entry was quarantined (deleted), the shard
+        # re-analyzed, and the fresh result stored back at the same key
+        assert fresh_cache.corrupt == 1
+        assert result.health() == HEALTH_OK
+        assert len(result.bmoc.reports) == 2
+        pickle.loads(paths[0].read_bytes())  # rewritten entry is valid again
+
+    def test_wrong_payload_type_quarantined(self, tmp_path):
+        cache, program = self._warm(tmp_path)
+        paths = sorted((tmp_path / "cache").rglob("*.pkl"))
+        paths[0].write_bytes(pickle.dumps({"not": "a CachedShard"}))
+        fresh_cache = type(cache)(str(tmp_path / "cache"))
+        result = run_gcatch(program, jobs=1, cache=fresh_cache)
+        assert fresh_cache.corrupt == 1
+        assert result.health() == HEALTH_OK
+
+    def test_injected_read_corruption_counts_and_recovers(self, tmp_path):
+        cache, program = self._warm(tmp_path)
+        fresh_cache = type(cache)(str(tmp_path / "cache"))
+        collector = Collector()
+        with injected("cache-read:raise"):
+            result = run_gcatch(
+                program, jobs=1, cache=fresh_cache, collector=collector
+            )
+        # every probe failed => every shard re-ran: zero lost reports,
+        # though each failed probe is recorded as a cache-read incident
+        assert len(result.bmoc.reports) == 2
+        assert result.health() == HEALTH_DEGRADED
+        assert all(i.site == "cache-read" for i in result.incidents)
+
+    def test_injected_write_failure_is_incident_not_abort(self, tmp_path):
+        from repro.engine import ResultCache
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        program = build(LEAK_TWO)
+        with injected("cache-write:raise"):
+            result = run_gcatch(program, jobs=1, cache=cache)
+        assert len(result.bmoc.reports) == 2
+        assert result.health() == HEALTH_DEGRADED
+        assert all(i.site == "cache-write" for i in result.incidents)
+
+
+# -- checker selection (satellite b) -----------------------------------------
+
+
+class TestCheckerSelection:
+    def test_unknown_checker_is_incident_not_abort_serial(self):
+        program = build(LEAK_TWO)
+        result = run_gcatch(program, jobs=1, checkers=["double-lock", "warp-detector"])
+        assert result.health() == HEALTH_DEGRADED
+        assert len(result.incidents) == 1
+        incident = result.incidents[0]
+        assert incident.label == "warp-detector"
+        assert "valid checkers" in incident.message
+        assert "double-lock" in incident.message
+        # the BMOC side is untouched
+        assert len(result.bmoc.reports) == 2
+
+    def test_unknown_checker_is_incident_not_abort_engine(self):
+        program = build(LEAK_TWO)
+        result = run_gcatch(program, jobs=2, checkers=["warp-detector"])
+        assert result.health() == HEALTH_DEGRADED
+        assert [s.outcome for s in result.failed_shards()] == ["failed"]
+        assert "valid checkers" in result.incidents[0].message
+
+    def test_env_checker_selection(self, monkeypatch):
+        program = build(LEAK_TWO)
+        monkeypatch.setenv("REPRO_CHECKERS", "double-lock,forget-unlock")
+        result = run_gcatch(program, jobs=1)
+        assert result.health() == HEALTH_OK
+        assert result.units_total == 2 + 2  # two channels + two checkers
+
+
+# -- serial firewall behaviour -----------------------------------------------
+
+
+class TestSerialResilience:
+    def test_single_channel_crash_degrades_not_aborts(self):
+        program = build(LEAK_TWO)
+        collector = Collector()
+        with injected("solve@alpha:raise"):
+            result = run_gcatch(program, jobs=1, collector=collector)
+        assert result.health() == HEALTH_DEGRADED
+        assert len(result.bmoc.reports) == 1
+        assert "bravo" in result.bmoc.reports[0].description
+        assert result.incidents[0].site == "solve"
+        assert collector.counters["resilience.incident"] == 1
+
+    def test_detect_init_crash_is_failed_run(self):
+        program = build(LEAK_TWO)
+        with injected("ssa-build:raise"):
+            # ssa-build faults fire in build_program, not detection; simulate
+            # a detector-init crash by faulting every encode AND solve so all
+            # units die
+            pass
+        with injected("encode:raise"):
+            result = run_gcatch(program, jobs=1)
+        assert result.health() == HEALTH_DEGRADED  # checkers survived
+        assert not result.bmoc.reports
+        assert result.units_failed == 2
+
+    def test_parse_fault_fires(self):
+        from repro.golang.parser import parse_file
+
+        with injected("parse:raise"):
+            with pytest.raises(FaultInjected):
+                parse_file("package main\nfunc main() {}\n", "x.go")
+
+    def test_ssa_build_fault_fires(self):
+        from repro.ssa.builder import build_program
+
+        with injected("ssa-build:raise"):
+            with pytest.raises(FaultInjected):
+                build_program("package main\nfunc main() {}\n", "x.go")
+
+    def test_max_retries_env(self, monkeypatch):
+        from repro.detector.gcatch import resolve_max_retries
+
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "3")
+        assert resolve_max_retries() == 3
+        assert resolve_max_retries(0) == 0
+
+    def test_transient_solve_fault_retried_to_success(self):
+        program = build(LEAK_TWO)
+        collector = Collector()
+        with injected("solve@alpha:raise-transient:times=1"):
+            result = run_gcatch(program, jobs=1, collector=collector, max_retries=1)
+        # one transient crash, one retry, full report set
+        assert result.health() == HEALTH_OK
+        assert len(result.bmoc.reports) == 2
+        assert collector.counters["resilience.retry"] == 1
+
+
+# -- fixer + validation resilience (satellite c) -----------------------------
+
+
+class TestFixerResilience:
+    def test_strategy_crash_falls_through(self, figure1_source):
+        from repro.api import Project
+
+        project = Project.from_source(figure1_source, "figure1.go")
+        bugs = project.detect().bmoc.bmoc_channel_bugs()
+        assert bugs
+        with injected("fix-apply@buffer:raise"):
+            fix = project.fix(bugs[0])
+        # buffer (the paper's strategy for Figure 1) crashed; the incident
+        # is on the result and the dispatcher moved on without raising
+        assert any(i.site == "fix-apply" and "buffer" in i.label
+                   for i in fix.incidents)
+
+    def test_clean_fix_has_no_incidents(self, figure1_source):
+        from repro.api import Project
+
+        project = Project.from_source(figure1_source, "figure1.go")
+        bugs = project.detect().bmoc.bmoc_channel_bugs()
+        fix = project.fix(bugs[0])
+        assert fix.fixed and not fix.incidents
+
+    def test_validate_crash_is_incident(self, figure1_source):
+        from repro.api import Project
+        from repro.fixer.validate import validate_patch
+
+        project = Project.from_source(figure1_source, "figure1.go")
+        bugs = project.detect().bmoc.bmoc_channel_bugs()
+        fix = project.fix(bugs[0])
+        assert fix.fixed
+        with injected("validate:raise"):
+            validation = validate_patch(figure1_source, fix, entry="main")
+        assert validation.incident is not None
+        assert validation.incident.site == "validate"
+        assert not validation.correct
+        assert "ERROR" in validation.render()
+
+    def test_downgrade_record(self):
+        from repro.fixer.validate import ValidationDowngrade
+
+        downgrade = ValidationDowngrade(which="patched", max_runs=64, seeds=8)
+        assert "patched" in downgrade.reason
+        assert "64" in downgrade.reason and "8" in downgrade.reason
+
+
+# -- CLI exit-code policy ----------------------------------------------------
+
+
+class TestCLIPolicy:
+    @pytest.fixture
+    def leaky_file(self, tmp_path):
+        path = tmp_path / "leaky.go"
+        path.write_text("package main\n" + LEAK_TWO)
+        return str(path)
+
+    def test_default_mode_reports_degraded_exit_unchanged(self, leaky_file, capsys):
+        code = main(["detect", leaky_file, "--faults", "solve@alpha:raise"])
+        out = capsys.readouterr().out
+        assert code == 1  # bravo's bug still found
+        assert "health: degraded" in out
+        assert "FaultInjected" in out
+
+    def test_strict_mode_flips_exit_to_incident(self, leaky_file, capsys):
+        assert main(["detect", leaky_file, "--faults", "solve@alpha:raise",
+                     "--strict"]) == EXIT_INCIDENT
+
+    def test_clean_run_unaffected_by_strict(self, leaky_file):
+        assert main(["detect", leaky_file, "--strict"]) == 1
+        assert main(["detect", leaky_file]) == 1
+
+    def test_env_faults_honoured(self, leaky_file, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "solve@alpha:raise")
+        assert main(["detect", leaky_file, "--strict"]) == EXIT_INCIDENT
+        # main() deactivates the plan on exit
+        from repro.resilience import active_plan
+
+        assert active_plan() is None
+
+    def test_stats_json_incidents_block(self, leaky_file, capsys):
+        code = main(["stats", leaky_file, "--json",
+                     "--faults", "solve@alpha:raise"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["schema"] == "repro.obs/1"
+        assert payload["health"] == "degraded"
+        [incident] = payload["incidents"]
+        assert incident["site"] == "solve"
+        assert incident["exception"] == "FaultInjected"
+
+    def test_stats_json_clean_omits_incidents(self, leaky_file, capsys):
+        main(["stats", leaky_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["health"] == "ok"
+        assert "incidents" not in payload
+
+    def test_fix_strict_exit_on_strategy_crash(self, leaky_file):
+        # both strategies' crashes (per channel) surface; strict exits 4
+        code = main(["fix", leaky_file, "--faults", "fix-apply:raise",
+                     "--strict"])
+        assert code == EXIT_INCIDENT
+
+    def test_render_health_table(self):
+        from repro.report.table import render_health
+
+        crash = Incident("solve", "alpha", "ValueError", "boom", "abc123def456")
+        out = render_health("degraded", [crash])
+        assert "health: degraded" in out
+        assert "alpha" in out and "abc123def456" in out
+        assert render_health("ok") == "health: ok"

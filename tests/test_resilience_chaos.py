@@ -1,0 +1,211 @@
+"""Chaos suite: deterministic fault injection across the execution matrix.
+
+The resilience contract under test: a single-site fault loses *at most*
+the faulted analysis unit — every other unit's report is byte-identical
+to the fault-free run — and the degradation is the same whether detection
+runs serially, with ``jobs=4`` threads, or with ``jobs=4`` forked
+processes (per-(rule, label) fault counters make the plan
+schedule-independent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXIT_INCIDENT, main
+from repro.detector.gcatch import run_gcatch
+from repro.engine import ResultCache
+from repro.resilience import HEALTH_DEGRADED, HEALTH_OK, injected
+from tests.conftest import build
+
+TWO_LEAKS = """
+func leakOne() {
+	alpha := make(chan int)
+	go func() {
+		alpha <- 1
+	}()
+}
+
+func leakTwo() {
+	bravo := make(chan int)
+	go func() {
+		bravo <- 2
+	}()
+}
+
+func main() {
+	leakOne()
+	leakTwo()
+}
+"""
+
+CLEAN = """
+func main() {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+	}()
+	<-done
+}
+"""
+
+#: the execution matrix every chaos case runs over
+CONFIGS = [
+    pytest.param({"jobs": 1}, id="serial"),
+    pytest.param({"jobs": 4, "backend": "thread"}, id="jobs4-thread"),
+    pytest.param({"jobs": 4, "backend": "process"}, id="jobs4-process"),
+]
+
+#: single-site fault plans targeting only the alpha channel's unit
+ALPHA_FAULTS = [
+    pytest.param("encode@alpha:raise", "encode", id="encode"),
+    pytest.param("solve@alpha:raise", "solve", id="solve"),
+]
+
+
+def _renders(result):
+    return {r.description: r.render() for r in result.all_reports()}
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build(TWO_LEAKS, "chaos.go")
+
+
+@pytest.fixture(scope="module")
+def baseline(program):
+    return run_gcatch(program)
+
+
+class TestSingleSiteFaultParity:
+    """Fault one unit; assert blast radius == that unit, at every config."""
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize("spec,site", ALPHA_FAULTS)
+    def test_only_faulted_shard_lost(self, program, baseline, config, spec, site):
+        with injected(spec):
+            result = run_gcatch(program, **config)
+        assert result.health() == HEALTH_DEGRADED
+        # exactly the alpha unit is gone; bravo's report is byte-identical
+        survivors = _renders(result)
+        expected = {
+            desc: render
+            for desc, render in _renders(baseline).items()
+            if "alpha" not in desc
+        }
+        assert survivors == expected
+        [incident] = result.incidents
+        assert incident.site == site
+        assert "alpha" in incident.label
+        assert incident.exception == "FaultInjected"
+
+    @pytest.mark.parametrize("spec,site", ALPHA_FAULTS)
+    def test_degradation_identical_across_configs(self, program, spec, site):
+        outcomes = []
+        for config in ({"jobs": 1}, {"jobs": 4, "backend": "thread"},
+                       {"jobs": 4, "backend": "process"}):
+            with injected(spec):
+                result = run_gcatch(program, **config)
+            outcomes.append(
+                (
+                    sorted(_renders(result)),
+                    [(i.site, i.label, i.exception, i.digest)
+                     for i in result.incidents],
+                    result.health(),
+                )
+            )
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_checker_fault_spares_bmoc(self, program, baseline, config):
+        # crash every BMOC unit; the five traditional checkers still run
+        with injected("solve:raise"):
+            result = run_gcatch(program, **config)
+        assert result.health() == HEALTH_DEGRADED
+        assert not result.bmoc.reports
+        assert len(result.incidents) == 2  # one per channel
+
+
+class TestCacheFaultParity:
+    """Cache faults never lose reports: a bad read is a re-analysis, a bad
+    write is an incident on an otherwise complete run."""
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_corrupt_read_recovers_fully(self, program, baseline, tmp_path, jobs):
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_gcatch(program, jobs=jobs, cache=cache)  # warm
+        fresh = ResultCache(str(tmp_path / "cache"))
+        with injected("cache-read:corrupt"):
+            result = run_gcatch(program, jobs=jobs, cache=fresh)
+        assert _renders(result) == _renders(baseline)
+        assert result.health() == HEALTH_OK
+        assert fresh.corrupt >= 1  # quarantined, then re-analyzed
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_write_failure_keeps_all_reports(self, program, baseline, tmp_path, jobs):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with injected("cache-write:raise"):
+            result = run_gcatch(program, jobs=jobs, cache=cache)
+        assert _renders(result) == _renders(baseline)
+        assert result.health() == HEALTH_DEGRADED
+        assert all(i.site == "cache-write" for i in result.incidents)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_injected_corrupt_write_quarantined_next_run(
+        self, program, baseline, tmp_path, jobs
+    ):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with injected("cache-write:corrupt"):
+            run_gcatch(program, jobs=jobs, cache=cache)
+        # the corrupt-mode write left garbage entries on disk; the next
+        # (fault-free) run quarantines them and re-analyzes cleanly
+        fresh = ResultCache(str(tmp_path / "cache"))
+        result = run_gcatch(program, jobs=jobs, cache=fresh)
+        assert _renders(result) == _renders(baseline)
+        assert result.health() == HEALTH_OK
+        assert fresh.corrupt >= 1
+
+
+class TestTransientRecovery:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_transient_fault_retried_to_full_result(self, program, baseline, config):
+        with injected("solve@alpha:raise-transient:times=1"):
+            result = run_gcatch(program, max_retries=1, **config)
+        assert result.health() == HEALTH_OK
+        assert _renders(result) == _renders(baseline)
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_transient_fault_with_retries_disabled_degrades(
+        self, program, config
+    ):
+        with injected("solve@alpha:raise-transient"):
+            result = run_gcatch(program, max_retries=0, **config)
+        assert result.health() == HEALTH_DEGRADED
+        assert len(result.bmoc.reports) == 1
+
+
+class TestStrictFlip:
+    """Acceptance criterion: on a clean program, --strict flips exit 0 → 4
+    under injection while the default mode stays 0 (degraded, partial)."""
+
+    @pytest.fixture
+    def clean_file(self, tmp_path):
+        path = tmp_path / "clean.go"
+        path.write_text("package main\n" + CLEAN)
+        return str(path)
+
+    def test_clean_program_exits_zero(self, clean_file):
+        assert main(["detect", clean_file]) == 0
+
+    @pytest.mark.parametrize("spec", ["solve:raise", "encode:raise"])
+    def test_default_stays_zero_strict_flips_to_four(self, clean_file, spec, capsys):
+        assert main(["detect", clean_file, "--faults", spec]) == 0
+        out = capsys.readouterr().out
+        assert "health: degraded" in out
+        assert main(["detect", clean_file, "--faults", spec,
+                     "--strict"]) == EXIT_INCIDENT
+
+    def test_jobs4_same_flip(self, clean_file):
+        argv = ["detect", clean_file, "--jobs", "4", "--faults", "solve:raise"]
+        assert main(argv) == 0
+        assert main(argv + ["--strict"]) == EXIT_INCIDENT
