@@ -74,6 +74,49 @@ class Project:
             source = handle.read()
         return cls.from_source(source, path, collector=collector)
 
+    @classmethod
+    def from_files(
+        cls, paths: List[str], collector: Optional[Collector] = None
+    ) -> "Project":
+        """Load a multi-file project (one package, Go-style shared namespace).
+
+        Each file is parsed independently — the same per-file granularity
+        :mod:`repro.service` re-parses at on an edit — then lowered into
+        one program. ``fix`` needs the patchable single source text, so it
+        is only available on single-file projects.
+        """
+        from repro.obs import STAGE_PARSE
+        from repro.ssa.builder import build_program_from_files, parse_source_file
+
+        collector = collector or NULL
+        files = []
+        for path in paths:
+            with open(path) as handle:
+                source = handle.read()
+            with collector.span(STAGE_PARSE):
+                files.append(parse_source_file(source, path))
+        program = build_program_from_files(files, collector=collector)
+        single = len(files) == 1
+        return cls(
+            source=files[0].source if single else "",
+            filename=files[0].filename if single else "<project>",
+            program=program,
+            collector=collector,
+        )
+
+    @classmethod
+    def from_path(cls, path: str, collector: Optional[Collector] = None) -> "Project":
+        """Load ``path``: one ``.go`` file, or a directory of them (sorted)."""
+        import os
+
+        if os.path.isdir(path):
+            names = sorted(n for n in os.listdir(path) if n.endswith(".go"))
+            if not names:
+                raise FileNotFoundError(f"no .go files under {path}")
+            return cls.from_files([os.path.join(path, n) for n in names],
+                                  collector=collector)
+        return cls.from_file(path, collector=collector)
+
     def _obs(self, collector: Optional[Collector]) -> Optional[Collector]:
         """Resolve a per-call collector override against the project's."""
         chosen = collector or self.collector

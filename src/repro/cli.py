@@ -318,6 +318,91 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _service_kwargs(args: argparse.Namespace) -> dict:
+    """The engine/resilience knobs shared by serve and watch."""
+    return dict(
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        budget_wall_seconds=args.budget_seconds,
+        budget_solver_nodes=args.budget_nodes,
+        max_retries=args.max_retries,
+        retry_timeouts=args.retry_timeouts,
+        checkers=args.checkers,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon over stdio (default) or a TCP socket."""
+    from repro.service import AnalysisService, serve_stdio, serve_tcp
+
+    try:
+        service = AnalysisService(args.path, **_service_kwargs(args)).start()
+    except (OSError, UnicodeDecodeError) as exc:
+        print(f"cannot load project {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.port is None:
+        # stdout is the protocol channel in stdio mode; banner to stderr
+        print(f"repro-serve: project {service.state.path} "
+              f"({len(service.state.files)} file(s)) on stdio", file=sys.stderr)
+        return serve_stdio(service)
+    server = serve_tcp(service, host=args.host, port=args.port)
+    host, port = server.address
+    # the smoke job and scripts parse this exact line for the bound port
+    print(f"repro-serve listening on {host}:{port}", flush=True)
+    return server.serve_until_shutdown()
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Re-analyze on change and print deltas until interrupted."""
+    from repro.service.watch import run_watch
+
+    try:
+        return run_watch(
+            args.path,
+            interval=args.interval,
+            max_cycles=args.cycles,
+            **_service_kwargs(args),
+        )
+    except (OSError, UnicodeDecodeError) as exc:
+        print(f"cannot load project {args.path}: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Send one request to a running daemon; exit like one-shot detect."""
+    import json
+
+    from repro.service import ServiceClient, ServiceConnectionError
+
+    params = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except ValueError as exc:
+            print(f"--params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("--params must be a JSON object", file=sys.stderr)
+            return 2
+    if args.deadline is not None:
+        params["deadline_seconds"] = args.deadline
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            response = client.call(args.method, params)
+    except ServiceConnectionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(json_dumps(response))
+    if "error" in response:
+        # a crashed request carries an incident: the daemon-side analogue
+        # of --strict's EXIT_INCIDENT; protocol misuse stays a usage error
+        return EXIT_INCIDENT if "incident" in response["error"] else 2
+    result = response.get("result") or {}
+    code = result.get("code", 0)
+    return int(code) if isinstance(code, (int, float)) else 0
+
+
 def cmd_nonblocking(args: argparse.Namespace) -> int:
     project = _load(args.file)
     result = detect_nonblocking(project.program)
@@ -455,6 +540,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(p)
     p.set_defaults(func=cmd_stats)
 
+    def _add_service_args(p: argparse.ArgumentParser) -> None:
+        """Engine knobs shared by serve and watch (daemon-lifetime)."""
+        p.add_argument("--jobs", type=int, default=None,
+                       help="per-request shard parallelism (default: REPRO_JOBS)")
+        p.add_argument("--backend", choices=["thread", "process"], default=None,
+                       help="pool backend (default: REPRO_BACKEND, else thread)")
+        p.add_argument("--cache-dir", default=None,
+                       help="persist the shard cache under this directory "
+                            "(default: memory-only, warm for the daemon's life)")
+        p.add_argument("--budget-seconds", type=float, default=None,
+                       help="per-primitive wall-clock budget")
+        p.add_argument("--budget-nodes", type=int, default=None,
+                       help="per-primitive solver-node budget")
+        p.add_argument("--max-retries", type=int, default=None,
+                       help="transient-failure retries (default: REPRO_MAX_RETRIES)")
+        p.add_argument("--retry-timeouts", action="store_true",
+                       help="retry TIMEOUT shards once with a quartered budget")
+        p.add_argument("--checkers", nargs="*", default=None,
+                       help="restrict the traditional checkers")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the analysis daemon (stdio by default, --port for TCP)",
+    )
+    p.add_argument("path", help="project: one .go file or a directory of them")
+    p.add_argument("--port", type=int, default=None,
+                   help="serve the line protocol on this TCP port "
+                        "(0 = ephemeral; the bound port is printed); "
+                        "default: stdio")
+    p.add_argument("--host", default="127.0.0.1")
+    _add_service_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("watch", help="re-analyze on change, print deltas")
+    p.add_argument("path", help="project: one .go file or a directory of them")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="poll interval in seconds (content-hash watcher)")
+    p.add_argument("--cycles", type=int, default=None,
+                   help="stop after N polls (default: run until interrupted)")
+    _add_service_args(p)
+    p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser("client", help="send one request to a running daemon")
+    p.add_argument("method", help="detect | fix | stats | metrics | health | "
+                                  "refresh | ping | shutdown")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="request params as a JSON object")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds (expires in queue)")
+    p.set_defaults(func=cmd_client)
+
     p = sub.add_parser("nonblocking", help="send-on-closed / double-close detection")
     p.add_argument("file")
     p.set_defaults(func=cmd_nonblocking)
@@ -473,12 +611,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     armed = _activate_faults(args)
     try:
-        return args.func(args)
+        code = args.func(args)
     finally:
         if armed:
             from repro.resilience import deactivate
 
             deactivate()
+    # every command returns an int, but coerce defensively: a handler that
+    # falls off the end (returns None) must exit 0, not crash sys.exit —
+    # the daemon/client exit-code contract (0/1/3/4) depends on this
+    return int(code) if isinstance(code, (int, bool)) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,19 +22,29 @@ from repro.engine.fingerprint import (
     function_digest,
     traditional_fingerprint,
 )
+from repro.engine.invalidate import (
+    InvalidationDelta,
+    diff_fingerprints,
+    shard_fingerprints,
+    shard_key,
+)
 
 __all__ = [
     "CachedShard",
     "DetectionEngine",
     "ENGINE_VERSION",
     "EngineConfig",
+    "InvalidationDelta",
     "ProgramDigests",
     "ResultCache",
     "ShardInfo",
     "TRADITIONAL_CHECKERS",
     "cache_from_env",
     "channel_fingerprint",
+    "diff_fingerprints",
     "function_digest",
     "run_engine",
+    "shard_fingerprints",
+    "shard_key",
     "traditional_fingerprint",
 ]

@@ -55,14 +55,31 @@ class CachedShard:
 
 
 class ResultCache:
-    """Memory + optional-disk shard cache with hit/miss/corruption accounting."""
+    """Memory + optional-disk shard cache with hit/miss/corruption accounting.
 
-    def __init__(self, path: Optional[str] = None):
+    The disk tier is bounded: ``max_entries``/``max_bytes`` (or the
+    ``REPRO_CACHE_MAX_ENTRIES``/``REPRO_CACHE_MAX_BYTES`` env vars via
+    :func:`cache_from_env`) cap the object store, evicting
+    least-recently-used entries — disk hits re-touch their file's mtime,
+    which is the recency order — after every store. Evictions are counted
+    in ``evicted`` and surface as the engine's ``cache.evict`` counter.
+    Unbounded remains the default (both caps ``None``).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self.path = Path(path) if path else None
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._memory: Dict[str, CachedShard] = {}
         self.hits = 0
         self.misses = 0
         self.corrupt = 0  # quarantined entries (deleted on first contact)
+        self.evicted = 0  # disk entries removed by the size/count bound
 
     # -- lookup ------------------------------------------------------------
 
@@ -123,6 +140,10 @@ class ResultCache:
         if not isinstance(entry, CachedShard):
             self._quarantine(key)
             return None
+        try:
+            os.utime(target, None)  # refresh LRU recency on a disk hit
+        except OSError:
+            pass
         return entry
 
     def _quarantine(self, key: str) -> None:
@@ -149,6 +170,7 @@ class ResultCache:
                     pickle.dump(entry, handle)
             os.replace(tmp, target)
             tmp = None
+            self._evict_disk(keep=target)
         except (OSError, pickle.PicklingError, TypeError):
             pass  # a cache that cannot persist is still a cache
         finally:
@@ -158,8 +180,58 @@ class ResultCache:
                 except OSError:
                     pass
 
+    def _evict_disk(self, keep: Optional[Path] = None) -> None:
+        """Enforce the disk bound: drop oldest-mtime entries until the
+        store fits ``max_entries``/``max_bytes`` again. The entry just
+        written (``keep``) is never evicted — a bound smaller than one
+        entry still caches the current shard for this run."""
+        if self.path is None or (self.max_entries is None and self.max_bytes is None):
+            return
+        entries = []
+        for target in self.path.glob("objects/*/*.pkl"):
+            try:
+                stat = target.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, target, stat.st_size))
+        entries.sort()
+        count = len(entries)
+        total = sum(size for _, _, size in entries)
+        for _, target, size in entries:
+            over_entries = self.max_entries is not None and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            if keep is not None and target == keep:
+                continue
+            try:
+                os.unlink(target)
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            self.evicted += 1
+
+
+def _env_int(name: str) -> Optional[int]:
+    try:
+        value = int(os.environ.get(name, "") or 0)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
 
 def cache_from_env() -> Optional[ResultCache]:
-    """A disk-backed cache when ``REPRO_CACHE_DIR`` is set, else None."""
+    """A disk-backed cache when ``REPRO_CACHE_DIR`` is set, else None.
+
+    ``REPRO_CACHE_MAX_ENTRIES`` / ``REPRO_CACHE_MAX_BYTES`` bound the disk
+    tier (unset or non-positive means unbounded).
+    """
     cache_dir = os.environ.get("REPRO_CACHE_DIR")
-    return ResultCache(cache_dir) if cache_dir else None
+    if not cache_dir:
+        return None
+    return ResultCache(
+        cache_dir,
+        max_entries=_env_int("REPRO_CACHE_MAX_ENTRIES"),
+        max_bytes=_env_int("REPRO_CACHE_MAX_BYTES"),
+    )

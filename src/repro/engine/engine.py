@@ -292,6 +292,7 @@ class DetectionEngine:
         cfg = self.config
         start = time.perf_counter()
         corrupt_before = cfg.cache.corrupt if cfg.cache is not None else 0
+        evicted_before = cfg.cache.evicted if cfg.cache is not None else 0
         with obs.span("gcatch"):
             prepared = self.firewall.call(
                 self._prepare, site="detect-init", label=self.program.filename or ""
@@ -342,10 +343,30 @@ class DetectionEngine:
             obs.count("detect.reports", len(result.all_reports()))
             if cfg.cache is not None and cfg.cache.corrupt > corrupt_before:
                 obs.count("cache.corrupt", cfg.cache.corrupt - corrupt_before)
+            if cfg.cache is not None and cfg.cache.evicted > evicted_before:
+                obs.count("cache.evict", cfg.cache.evicted - evicted_before)
             result.trace = obs
         return result
 
+    def plan(self) -> List[ShardInfo]:
+        """Prepare the shard plan — detector, shard list, fingerprints —
+        without executing any shard.
+
+        This is the entry point of the incremental service's invalidation
+        step: fingerprinting costs the front half of the pipeline (SSA
+        digests, call graph, scopes) but no path enumeration and no solver
+        work, so a daemon can ask "which cached results does this edit
+        kill?" far cheaper than re-analyzing.
+        """
+        if self.detector is None:
+            self._prepare()
+        if self._shards and not self._shards[0].fingerprint:
+            self._fingerprint_shards()
+        return list(self._shards)
+
     def _prepare(self) -> None:
+        if self.detector is not None:
+            return  # already planned (plan() ran first); run() reuses it
         cfg = self.config
         self.detector = BMOCDetector(
             self.program,

@@ -1,0 +1,99 @@
+"""Shard-level invalidation: which cached results does an edit kill?
+
+The engine's cache never invalidates entries explicitly — an edit simply
+changes the content-addressed fingerprints of the shards it can affect,
+and the old entries become unreachable. That implicit scheme is perfect
+for correctness but silent: a serving daemon wants to *report* the delta
+("this edit re-solves 2 of 31 shards") and assert the complement answered
+warm. This module makes the implicit diff explicit:
+
+* :func:`shard_fingerprints` plans one program's shards and returns their
+  fingerprints without executing any — it pays the front half of the
+  pipeline (parse already done, SSA digests, call graph, per-primitive
+  scopes) but zero path enumeration and zero solver work;
+* :func:`diff_fingerprints` compares two such plans into an
+  :class:`InvalidationDelta`: shards whose fingerprint survived answer
+  from the warm cache, shards whose fingerprint changed (or that are new)
+  must re-run.
+
+Correctness rests on the fingerprint contract of
+:mod:`repro.engine.fingerprint`: a shard's key names the complete input
+of its analysis (scope SSA, Pset identity, options, versions), so
+``old[key] == new[key]`` implies the re-run would reproduce the cached
+result byte-for-byte, and any input change — however indirect, e.g. an
+edit to a callee deep inside the scope — changes the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.engine import DetectionEngine, EngineConfig, ShardInfo
+from repro.obs import Collector
+from repro.ssa import ir
+
+
+def shard_key(info: ShardInfo) -> str:
+    """Stable identity of one shard across runs: its kind and label."""
+    return f"{info.kind}:{info.label}"
+
+
+def shard_fingerprints(
+    program: ir.Program,
+    config: Optional[EngineConfig] = None,
+    collector: Optional[Collector] = None,
+) -> Dict[str, str]:
+    """Plan ``program``'s shards and return ``{shard key: fingerprint}``."""
+    engine = DetectionEngine(program, config=config, collector=collector)
+    return {shard_key(info): info.fingerprint for info in engine.plan()}
+
+
+@dataclass
+class InvalidationDelta:
+    """The shard-set difference between two plans of (versions of) a project."""
+
+    reused: List[str] = field(default_factory=list)  # same fingerprint: warm
+    invalidated: List[str] = field(default_factory=list)  # changed: must re-run
+    added: List[str] = field(default_factory=list)  # new shard (new primitive)
+    removed: List[str] = field(default_factory=list)  # shard no longer planned
+
+    @property
+    def total(self) -> int:
+        """Shards in the *new* plan."""
+        return len(self.reused) + len(self.invalidated) + len(self.added)
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of the new plan that answers from the warm cache."""
+        return len(self.reused) / self.total if self.total else 1.0
+
+    def is_noop(self) -> bool:
+        return not (self.invalidated or self.added or self.removed)
+
+    def to_json(self) -> dict:
+        return {
+            "reused": list(self.reused),
+            "invalidated": list(self.invalidated),
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "total": self.total,
+            "skip_rate": self.skip_rate,
+        }
+
+
+def diff_fingerprints(
+    old: Dict[str, str], new: Dict[str, str]
+) -> InvalidationDelta:
+    """Classify every shard of ``new`` against ``old`` (both from
+    :func:`shard_fingerprints`), in deterministic key order."""
+    delta = InvalidationDelta()
+    for key in sorted(new):
+        if key not in old:
+            delta.added.append(key)
+        elif old[key] == new[key]:
+            delta.reused.append(key)
+        else:
+            delta.invalidated.append(key)
+    delta.removed = sorted(key for key in old if key not in new)
+    return delta

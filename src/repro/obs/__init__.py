@@ -15,6 +15,7 @@ from repro.obs.collector import (
     STAGE_ENGINE_SHARD,
     STAGE_PARSE,
     STAGE_PATH_ENUM,
+    STAGE_SERVICE_REQUEST,
     STAGE_SOLVE,
     STAGE_SSA,
     STAGE_SUSPICIOUS,
@@ -36,6 +37,7 @@ __all__ = [
     "STAGE_ENGINE_SHARD",
     "STAGE_PARSE",
     "STAGE_PATH_ENUM",
+    "STAGE_SERVICE_REQUEST",
     "STAGE_SOLVE",
     "STAGE_SSA",
     "STAGE_SUSPICIOUS",

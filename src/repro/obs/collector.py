@@ -48,6 +48,10 @@ STAGE_SOLVE = "solve"
 #: traditional checker); aggregated like any other stage in the trace table
 STAGE_ENGINE_SHARD = "engine-shard"
 
+#: one entry per request the analysis daemon serves (repro.service); wraps
+#: whatever pipeline stages that request triggered
+STAGE_SERVICE_REQUEST = "service-request"
+
 #: every GCatch stage, in pipeline order; a full ``Project.detect`` trace
 #: contains each of these exactly once in its aggregated stage table
 PIPELINE_STAGES: Tuple[str, ...] = (

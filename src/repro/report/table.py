@@ -138,3 +138,34 @@ def render_simple(headers: Sequence[str], rows: Sequence[Sequence[str]], title: 
     for row in rows:
         lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_delta(
+    old_renders: Sequence[str],
+    new_renders: Sequence[str],
+    shards_total: int = 0,
+    shards_cached: int = 0,
+    generation: int = 0,
+) -> List[str]:
+    """Watch-mode delta lines: reports that appeared/resolved between two
+    analyses, plus how much of the shard plan answered from the warm
+    cache (the incremental win the service exists for)."""
+    old_set, new_set = set(old_renders), set(new_renders)
+    lines: List[str] = []
+    appeared = [r for r in new_renders if r not in old_set]
+    resolved = [r for r in old_renders if r not in new_set]
+    for render in appeared:
+        first = render.split("\n", 1)[0]
+        lines.append(f"+ NEW {first}")
+    for render in resolved:
+        first = render.split("\n", 1)[0]
+        lines.append(f"- RESOLVED {first}")
+    if not appeared and not resolved:
+        lines.append(f"= no report changes ({len(new_renders)} report(s))")
+    executed = shards_total - shards_cached
+    rate = shards_cached / shards_total if shards_total else 1.0
+    lines.append(
+        f"  generation {generation}: re-analyzed {executed}/{shards_total} "
+        f"shard(s), {shards_cached} warm ({rate:.0%} skip)"
+    )
+    return lines

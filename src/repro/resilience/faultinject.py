@@ -14,6 +14,7 @@ cache-read :meth:`repro.engine.cache.ResultCache.get`
 cache-write :meth:`repro.engine.cache.ResultCache._store`
 fix-apply  per GFix strategy attempt
 validate   :func:`repro.fixer.validate.validate_patch`
+service-request  per analysis-daemon request (:mod:`repro.service`)
 ========== ==========================================================
 
 A :class:`FaultPlan` is a list of rules parsed from a compact spec
@@ -55,6 +56,7 @@ FAULT_SITES: Tuple[str, ...] = (
     "cache-write",
     "fix-apply",
     "validate",
+    "service-request",
 )
 
 _MODES = ("raise", "raise-transient", "corrupt", "stall")

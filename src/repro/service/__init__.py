@@ -1,0 +1,70 @@
+"""repro.service — the long-lived analysis daemon.
+
+The one-shot pipeline re-parses, re-builds SSA and re-solves from
+scratch on every invocation; this package keeps a project *resident* and
+serves detect/fix/stats requests over a line-delimited JSON protocol,
+re-analyzing only what an edit invalidated:
+
+* :mod:`repro.service.project` — per-file AST cache + function-digest
+  diffing (re-parse only changed files);
+* :mod:`repro.service.daemon` — the :class:`AnalysisService` core, the
+  request methods, and the stdio/TCP transports;
+* :mod:`repro.service.queue` — FIFO request queue with per-request
+  deadlines, one analysis worker;
+* :mod:`repro.service.protocol` — the wire protocol;
+* :mod:`repro.service.client` — the TCP client (``repro client``);
+* :mod:`repro.service.watch` — polling watcher + the ``repro watch``
+  loop (re-run on change, print deltas).
+
+Incremental invalidation itself lives with the engine
+(:mod:`repro.engine.invalidate`): the service diffs scope fingerprints,
+the engine's content-addressed cache guarantees a reused fingerprint
+would reproduce the cached result byte-for-byte.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceRequestError,
+)
+from repro.service.daemon import (
+    AnalysisService,
+    ServiceError,
+    ServiceServer,
+    exit_code_for,
+    serve_stdio,
+    serve_tcp,
+)
+from repro.service.project import ProjectState, RefreshDelta, project_source_paths
+from repro.service.protocol import (
+    METHODS,
+    PROTOCOL_VERSION,
+    Request,
+    decode_request,
+    encode_line,
+)
+from repro.service.queue import RequestQueue
+from repro.service.watch import Watcher, run_watch
+
+__all__ = [
+    "AnalysisService",
+    "METHODS",
+    "PROTOCOL_VERSION",
+    "ProjectState",
+    "RefreshDelta",
+    "Request",
+    "RequestQueue",
+    "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceError",
+    "ServiceRequestError",
+    "ServiceServer",
+    "Watcher",
+    "decode_request",
+    "encode_line",
+    "exit_code_for",
+    "project_source_paths",
+    "run_watch",
+    "serve_stdio",
+    "serve_tcp",
+]

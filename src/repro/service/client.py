@@ -1,0 +1,93 @@
+"""Client for a running analysis daemon (TCP transport).
+
+Small by design: connect, send request lines, read response lines. Used
+by ``repro client``, the CI smoke job, and the service tests; any
+language that can write a JSON line to a socket can do the same.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.service.protocol import Request, encode_line, is_error
+
+
+class ServiceConnectionError(ConnectionError):
+    """Could not reach (or lost) the daemon."""
+
+
+class ServiceClient:
+    """One connection to a daemon; request ids are assigned per client."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: Optional[float] = 30.0
+    ):
+        self.host = host
+        self.port = port
+        self._next_id = 0
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceConnectionError(
+                f"cannot connect to daemon at {host}:{port}: {exc}"
+            ) from exc
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> dict:
+        """Send one request, wait for its response dict (result or error)."""
+        self._next_id += 1
+        request = Request(id=self._next_id, method=method, params=params or {})
+        try:
+            self._sock.sendall(encode_line(request.to_json()).encode("utf-8"))
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServiceConnectionError(f"daemon connection lost: {exc}") from exc
+        if not line:
+            raise ServiceConnectionError("daemon closed the connection")
+        import json
+
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ServiceConnectionError(f"malformed response: {line!r}")
+        return response
+
+    def result(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Like :meth:`call` but unwraps ``result`` and raises on ``error``."""
+        response = self.call(method, params)
+        if is_error(response):
+            error = response["error"]
+            raise ServiceRequestError(error.get("code"), error.get("message"), error)
+        return response.get("result")
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ServiceRequestError(Exception):
+    """The daemon answered with a protocol ``error`` object."""
+
+    def __init__(self, code: Optional[int], message: Optional[str], error: dict):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.error = error
+
+
+__all__ = [
+    "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceRequestError",
+]

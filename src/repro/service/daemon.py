@@ -1,0 +1,566 @@
+"""The long-lived analysis daemon.
+
+One :class:`AnalysisService` owns a resident project
+(:class:`~repro.service.project.ProjectState`), a warm
+:class:`~repro.engine.cache.ResultCache`, the daemon-lifetime
+:class:`~repro.obs.Collector` and incident ledger, and a FIFO
+:class:`~repro.service.queue.RequestQueue` feeding one analysis worker.
+Transports — the stdio loop and the TCP server, both speaking the
+line-delimited protocol of :mod:`repro.service.protocol` — only enqueue
+and relay; all analysis state is single-writer.
+
+The serving loop of one ``detect`` request:
+
+1. **refresh** — re-read the file set; re-parse only files whose bytes
+   changed; rebuild the program iff anything did (per-file AST cache);
+2. **analyze** — run the detection engine against the warm cache: every
+   shard whose scope fingerprint survived the edit answers from cache
+   with zero solver work, only invalidated shards re-solve;
+3. **delta** — diff the new shard fingerprints against the previous
+   request's (:func:`repro.engine.invalidate.diff_fingerprints`) so the
+   response states exactly what the edit invalidated.
+
+Failure semantics match the CLI's: a crash inside a request degrades
+into a structured incident on *that request's* error response (code
+``REQUEST_FAILED``) and the daemon keeps serving — a request can fail,
+the daemon cannot be crashed by one. ``health`` exposes the same
+``ok``/``degraded``/``failed`` verdict (and equivalent exit code) the
+one-shot CLI would have reported for the last analysis.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.detector.gcatch import (
+    GCatchResult,
+    resolve_checkers,
+    resolve_jobs,
+    resolve_max_retries,
+    run_gcatch,
+)
+from repro.detector.reporting import BugReport
+from repro.engine import ResultCache, diff_fingerprints
+from repro.engine.invalidate import InvalidationDelta
+from repro.obs import STAGE_SERVICE_REQUEST, Collector, snapshot
+from repro.resilience.faultinject import maybe_fault
+from repro.resilience.firewall import Firewall, RetryPolicy
+from repro.resilience.incidents import Incident, incidents_to_json
+from repro.service.project import ProjectState
+from repro.service.protocol import (
+    METHOD_NOT_FOUND,
+    METHODS,
+    INVALID_PARAMS,
+    PROTOCOL_VERSION,
+    REQUEST_FAILED,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_line,
+    error_response,
+    result_response,
+)
+from repro.service.queue import RequestQueue
+
+#: daemon exit-code policy == CLI exit-code policy (tested for equality)
+from repro.cli import EXIT_INCIDENT, EXIT_TIMEOUT
+
+
+class ServiceError(Exception):
+    """A request-level error that is *not* a crash: wrong params, an
+    unsupported method for this project shape. Mapped to a plain protocol
+    error (no incident) and never counted against daemon health."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def exit_code_for(
+    reports: int,
+    timed_out: bool,
+    health: str,
+    incidents: int,
+    strict: bool = False,
+    fail_on_timeout: bool = False,
+) -> int:
+    """The one-shot ``detect`` exit-code policy, shared with the daemon:
+    1 for findings, 3 for exhausted budgets (opt-in), 4 for resilience
+    failures (always on ``failed`` health, any incident under strict)."""
+    code = 1 if reports else 0
+    if fail_on_timeout and timed_out:
+        code = EXIT_TIMEOUT
+    if (strict and incidents) or health == "failed":
+        code = EXIT_INCIDENT
+    return code
+
+
+def report_to_json(report: BugReport) -> dict:
+    return {
+        "category": report.category,
+        "description": report.description,
+        "lines": list(report.lines),
+        "render": report.render(),
+    }
+
+
+class AnalysisService:
+    """The resident analysis service behind every transport."""
+
+    def __init__(
+        self,
+        path: str,
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[str] = None,
+        budget_wall_seconds: Optional[float] = None,
+        budget_solver_nodes: Optional[int] = None,
+        max_retries: Optional[int] = None,
+        retry_timeouts: bool = False,
+        checkers: Optional[List[str]] = None,
+        disentangle: bool = True,
+        collector: Optional[Collector] = None,
+    ):
+        self.collector = collector or Collector(f"serve:{path}")
+        self.state = ProjectState(path, collector=self.collector)
+        # the warm cache is the point of staying resident: its memory tier
+        # carries full-fidelity shard results from request to request
+        self.cache = cache or ResultCache(cache_dir)
+        self.jobs = resolve_jobs(jobs)
+        self.backend = backend
+        self.budget_wall_seconds = budget_wall_seconds
+        self.budget_solver_nodes = budget_solver_nodes
+        self.max_retries = resolve_max_retries(max_retries)
+        self.retry_timeouts = retry_timeouts
+        self.checkers = resolve_checkers(checkers)
+        self.disentangle = disentangle
+        self.firewall = Firewall(
+            collector=self.collector,
+            policy=RetryPolicy(max_retries=self.max_retries),
+        )
+        self.queue = RequestQueue(self._handle, collector=self.collector)
+        self.started = time.monotonic()
+        self.requests_served = 0
+        #: last detect's shard fingerprints, for the next request's delta
+        self._fingerprints: Dict[str, str] = {}
+        #: summary of the last completed analysis, behind ``health``
+        self._last: Optional[dict] = None
+        self._shutdown = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "AnalysisService":
+        """Load the project and start the worker; raises on a project
+        that cannot even be loaded (there is nothing to serve)."""
+        self.state.load()
+        self.queue.start()
+        return self
+
+    def stop(self) -> None:
+        self._shutdown.set()
+        self.queue.stop()
+
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutdown.is_set()
+
+    def call(
+        self,
+        method: str,
+        params: Optional[dict] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> dict:
+        """In-process convenience: one request through the real queue."""
+        request = Request(
+            id=None,
+            method=method,
+            params=params or {},
+            deadline_seconds=deadline_seconds,
+        )
+        return self.queue.call(request)
+
+    # -- request handling --------------------------------------------------
+
+    def _handle(self, request: Request) -> dict:
+        """One queued request: firewall around the handler, so a crash is
+        an error response with an incident — never a dead daemon."""
+        handler = getattr(self, "_method_" + request.method, None)
+        if request.method not in METHODS or handler is None:
+            return error_response(
+                request.id,
+                METHOD_NOT_FOUND,
+                f"unknown method {request.method!r} "
+                f"(valid methods: {', '.join(METHODS)})",
+            )
+        self.requests_served += 1
+        obs = self.collector
+        obs.count("service.requests")
+        obs.count(f"service.method.{request.method}")
+        with obs.span(STAGE_SERVICE_REQUEST):
+            try:
+                guarded = self.firewall.call(
+                    lambda: self._run_handler(handler, request),
+                    site="service-request",
+                    label=request.method,
+                    reraise=(ServiceError,),
+                )
+            except ServiceError as exc:
+                return error_response(request.id, exc.code, str(exc))
+        if guarded.ok:
+            return result_response(request.id, guarded.value)
+        incident = guarded.incident
+        return error_response(
+            request.id,
+            REQUEST_FAILED,
+            f"request crashed: {incident.exception}: {incident.message}",
+            incident=incident.to_json(),
+        )
+
+    def _run_handler(self, handler, request: Request):
+        maybe_fault("service-request", request.method)
+        return handler(request.params)
+
+    def _refresh(self):
+        """Refresh behind its own firewall: a broken edit (parse error,
+        vanished file) keeps the previous generation serving and surfaces
+        as an incident, exactly like any other degraded unit."""
+        guarded = self.firewall.call(
+            self.state.refresh, site="service-request", label="refresh"
+        )
+        if guarded.ok:
+            return guarded.value, None
+        return None, guarded.incident
+
+    # -- methods -----------------------------------------------------------
+
+    def _method_ping(self, params: dict) -> dict:
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "project": self.state.path,
+            "generation": self.state.generation,
+            "uptime_seconds": time.monotonic() - self.started,
+        }
+
+    def _method_refresh(self, params: dict) -> dict:
+        delta, incident = self._refresh()
+        if incident is not None:
+            raise ServiceError(
+                REQUEST_FAILED,
+                f"refresh failed: {incident.exception}: {incident.message}",
+            )
+        payload = delta.to_json()
+        payload["noop"] = delta.is_noop()
+        if params.get("plan") and not delta.is_noop():
+            # optional: pre-compute the shard-level invalidation without
+            # analyzing (front half of the pipeline only)
+            from repro.engine.invalidate import shard_fingerprints
+
+            new = shard_fingerprints(
+                self.state.program,
+                config=self._engine_config(),
+                collector=self.collector,
+            )
+            payload["invalidation"] = diff_fingerprints(
+                self._fingerprints, new
+            ).to_json()
+        return payload
+
+    def _engine_config(self):
+        from repro.engine import EngineConfig
+
+        return EngineConfig(
+            jobs=self.jobs,
+            backend=self.backend or "thread",
+            cache=self.cache,
+            budget_wall_seconds=self.budget_wall_seconds,
+            budget_solver_nodes=self.budget_solver_nodes,
+            disentangle=self.disentangle,
+            checkers=self.checkers,
+            max_retries=self.max_retries,
+            retry_timeouts=self.retry_timeouts,
+        )
+
+    def _detect(self, params: dict) -> "tuple[GCatchResult, Optional[dict]]":
+        refresh_payload = None
+        if params.get("refresh", True):
+            delta, incident = self._refresh()
+            if incident is not None:
+                if self.state.program is None:
+                    raise ServiceError(
+                        REQUEST_FAILED,
+                        f"project failed to load: {incident.message}",
+                    )
+                refresh_payload = {"failed": True, "incident": incident.to_json()}
+            else:
+                refresh_payload = delta.to_json()
+                refresh_payload["noop"] = delta.is_noop()
+        result = run_gcatch(
+            self.state.program,
+            disentangle=self.disentangle,
+            collector=self.collector,
+            jobs=self.jobs,
+            backend=self.backend,
+            cache=self.cache,
+            budget_wall_seconds=self.budget_wall_seconds,
+            budget_solver_nodes=self.budget_solver_nodes,
+            max_retries=self.max_retries,
+            retry_timeouts=self.retry_timeouts,
+            checkers=self.checkers,
+        )
+        return result, refresh_payload
+
+    def _method_detect(self, params: dict) -> dict:
+        result, refresh_payload = self._detect(params)
+        shards = result.shards or []
+        cached = sum(1 for s in shards if s.outcome == "cached")
+        new_fps = {f"{s.kind}:{s.label}": s.fingerprint for s in shards}
+        delta: Optional[InvalidationDelta] = None
+        if self._fingerprints:
+            delta = diff_fingerprints(self._fingerprints, new_fps)
+        self._fingerprints = new_fps
+        reports = result.all_reports()
+        health = result.health()
+        code = exit_code_for(
+            len(reports),
+            result.has_timeouts(),
+            health,
+            len(result.incidents),
+            strict=bool(params.get("strict")),
+            fail_on_timeout=bool(params.get("fail_on_timeout")),
+        )
+        self._last = {
+            "method": "detect",
+            "generation": self.state.generation,
+            "reports": len(reports),
+            "health": health,
+            "code": code,
+            "incidents": len(result.incidents),
+        }
+        payload = {
+            "generation": self.state.generation,
+            "reports": [report_to_json(r) for r in reports],
+            "bmoc": len(result.bmoc.reports),
+            "traditional": len(result.traditional),
+            "health": health,
+            "code": code,
+            "timed_out": result.has_timeouts(),
+            "elapsed_seconds": result.elapsed_seconds,
+            "shards": {
+                "total": len(shards),
+                "cached": cached,
+                "executed": len(shards) - cached,
+                "timeout": len(result.timed_out_shards()),
+                "failed": len(result.failed_shards()),
+                "skip_rate": cached / len(shards) if shards else 1.0,
+            },
+        }
+        if refresh_payload is not None:
+            payload["refresh"] = refresh_payload
+        if delta is not None:
+            payload["delta"] = delta.to_json()
+        if result.incidents:
+            payload["incidents"] = incidents_to_json(result.incidents)
+        return payload
+
+    def _method_fix(self, params: dict) -> dict:
+        single = self.state.single_source
+        if single is None:
+            raise ServiceError(
+                INVALID_PARAMS,
+                "fix needs the patchable source text, so it is only "
+                "available on single-file projects",
+            )
+        result, refresh_payload = self._detect(params)
+        bugs = result.bmoc.bmoc_channel_bugs()
+        from repro.fixer.dispatcher import GFix
+
+        gfix = GFix(self.state.program, single.source, collector=self.collector)
+        summary = gfix.fix_all(bugs)
+        incidents = list(result.incidents) + summary.incidents()
+        fixed = summary.fixed()
+        health = result.health()
+        code = exit_code_for(
+            0, False, health, len(incidents), strict=bool(params.get("strict"))
+        )
+        self._last = {
+            "method": "fix",
+            "generation": self.state.generation,
+            "reports": len(bugs),
+            "health": health,
+            "code": code,
+            "incidents": len(incidents),
+        }
+        payload = {
+            "generation": self.state.generation,
+            "bugs": len(bugs),
+            "fixed": len(fixed),
+            "code": code,
+            "health": health,
+            "fixes": [
+                {
+                    "description": fix.report.description,
+                    "fixed": fix.fixed,
+                    "strategy": fix.strategy if fix.fixed else None,
+                    "diff": fix.patch.unified_diff(single.path)
+                    if fix.fixed
+                    else None,
+                    "reason": None if fix.fixed else fix.reason,
+                }
+                for fix in summary.results
+            ],
+        }
+        if refresh_payload is not None:
+            payload["refresh"] = refresh_payload
+        if incidents:
+            payload["incidents"] = incidents_to_json(incidents)
+        return payload
+
+    def _method_stats(self, params: dict) -> dict:
+        """The full ``repro.obs/1`` snapshot of the daemon's collector."""
+        extra = {
+            "project": self.state.path,
+            "generation": self.state.generation,
+            "requests": self.requests_served,
+            "uptime_seconds": time.monotonic() - self.started,
+        }
+        if self.firewall.incidents:
+            extra["incidents"] = incidents_to_json(self.firewall.incidents)
+        return snapshot(self.collector, extra=extra)
+
+    def _method_metrics(self, params: dict) -> dict:
+        """The light health/metrics view: obs counters + incident ledger."""
+        return {
+            "counters": dict(self.collector.counters),
+            "gauges": dict(self.collector.gauges),
+            "incidents": incidents_to_json(self.firewall.incidents),
+            "cache": {
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "corrupt": self.cache.corrupt,
+                "evicted": self.cache.evicted,
+            },
+            "requests": self.requests_served,
+            "uptime_seconds": time.monotonic() - self.started,
+        }
+
+    def _method_health(self, params: dict) -> dict:
+        """Same ok/degraded/failed semantics (and exit code) the CLI
+        reports: the verdict of the last analysis, or of the daemon's own
+        ledger when nothing has been analyzed yet."""
+        health = self._last["health"] if self._last is not None else "ok"
+        if health == "ok" and self.firewall.incidents:
+            # crashed requests since the last clean analysis degrade the
+            # daemon even though that analysis itself was fine
+            health = "degraded"
+        return {
+            "health": health,
+            "code": EXIT_INCIDENT if health == "failed" else 0,
+            "last": dict(self._last) if self._last is not None else None,
+            "incidents": len(self.firewall.incidents),
+        }
+
+    def _method_shutdown(self, params: dict) -> dict:
+        self._shutdown.set()
+        return {"ok": True, "requests_served": self.requests_served}
+
+
+# -- transports -------------------------------------------------------------
+
+
+def serve_stdio(service: AnalysisService, stdin=None, stdout=None) -> int:
+    """Serve the line protocol over stdio until EOF or ``shutdown``."""
+    import sys
+
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        if not line.strip():
+            continue
+        response = _serve_line(service, line)
+        stdout.write(encode_line(response))
+        stdout.flush()
+        if service.shutting_down:
+            break
+    service.stop()
+    return 0
+
+
+def _serve_line(service: AnalysisService, line: str) -> dict:
+    try:
+        request = decode_request(line)
+    except ProtocolError as exc:
+        return error_response(exc.request_id, exc.code, str(exc))
+    return service.queue.call(request)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: AnalysisService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                raw = self.rfile.readline()
+            except (OSError, ValueError):
+                return
+            if not raw:
+                return
+            line = raw.decode("utf-8", "replace")
+            if not line.strip():
+                continue
+            response = _serve_line(service, line)
+            try:
+                self.wfile.write(encode_line(response).encode("utf-8"))
+                self.wfile.flush()
+            except (OSError, ValueError):
+                return
+            if service.shutting_down:
+                self.server.begin_shutdown()  # type: ignore[attr-defined]
+                return
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """TCP transport: threaded connections, one shared FIFO queue."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: AnalysisService, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self._shutdown_started = False
+        self._shutdown_lock = threading.Lock()
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        host, port = self.server_address[:2]
+        return host, port
+
+    def begin_shutdown(self) -> None:
+        """Idempotent async shutdown (callable from handler threads)."""
+        with self._shutdown_lock:
+            if self._shutdown_started:
+                return
+            self._shutdown_started = True
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def serve_until_shutdown(self) -> int:
+        try:
+            self.serve_forever(poll_interval=0.1)
+        finally:
+            self.service.stop()
+            self.server_close()
+        return 0
+
+
+def serve_tcp(
+    service: AnalysisService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceServer:
+    """Bind (port 0 = ephemeral) and return the server; the caller runs
+    :meth:`ServiceServer.serve_until_shutdown` (or drives it in a thread)."""
+    return ServiceServer(service, host=host, port=port)

@@ -1,0 +1,151 @@
+"""The analysis service's wire protocol: line-delimited JSON-RPC.
+
+One request per line, one response per line, UTF-8, ``\\n``-terminated —
+the same framing over stdio and TCP, trivially scriptable from a shell
+(``echo '{"id":1,"method":"health"}' | nc localhost PORT``).
+
+Request::
+
+    {"id": 1, "method": "detect", "params": {"fail_on_timeout": true}}
+
+Response (exactly one of ``result`` / ``error``)::
+
+    {"id": 1, "result": {...}}
+    {"id": 1, "error": {"code": -32603, "message": "...", "incident": {...}}}
+
+Methods (see :mod:`repro.service.daemon` for the parameter/result shapes):
+``ping``, ``detect``, ``fix``, ``stats``, ``metrics``, ``health``,
+``refresh``, ``shutdown``.
+
+Error codes follow JSON-RPC where a standard code exists; the service's
+own conditions sit in the implementation-defined ``-320xx`` range. A
+request that *crashes* inside the daemon is not a protocol error: the
+crash degrades into a :class:`repro.resilience.incidents.Incident`
+attached to the ``error`` object (code ``REQUEST_FAILED``), and the
+daemon keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+#: protocol identifier, echoed by ``ping``; bump on breaking changes
+PROTOCOL_VERSION = "repro.service/1"
+
+# -- error codes ------------------------------------------------------------
+
+PARSE_ERROR = -32700  # request line is not valid JSON
+INVALID_REQUEST = -32600  # JSON but not a valid request object
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+REQUEST_FAILED = -32603  # handler crashed; error carries the incident
+DEADLINE_EXCEEDED = -32000  # expired in the queue before running
+SHUTTING_DOWN = -32001  # daemon is draining; request was not served
+
+#: every method the daemon serves, in documentation order
+METHODS = (
+    "ping",
+    "detect",
+    "fix",
+    "stats",
+    "metrics",
+    "health",
+    "refresh",
+    "shutdown",
+)
+
+RequestId = Union[int, str, None]
+
+
+@dataclass
+class Request:
+    """One decoded request line."""
+
+    id: RequestId
+    method: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: per-request deadline in seconds, from ``params.deadline_seconds``;
+    #: measured from enqueue time (a request that waits out its deadline
+    #: in the queue is answered with DEADLINE_EXCEEDED, never run)
+    deadline_seconds: Optional[float] = None
+
+    def to_json(self) -> dict:
+        payload: dict = {"id": self.id, "method": self.method}
+        if self.params:
+            payload["params"] = self.params
+        return payload
+
+
+class ProtocolError(Exception):
+    """A malformed request line; carries the response error code."""
+
+    def __init__(self, code: int, message: str, request_id: RequestId = None):
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
+def decode_request(line: str) -> Request:
+    """Decode one request line, raising :class:`ProtocolError` on garbage."""
+    line = line.strip()
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(PARSE_ERROR, f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(INVALID_REQUEST, "request must be a JSON object")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError(INVALID_REQUEST, "id must be an int or string")
+    method = payload.get("method")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError(
+            INVALID_REQUEST, "missing method", request_id=request_id
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            INVALID_PARAMS, "params must be an object", request_id=request_id
+        )
+    deadline = params.get("deadline_seconds")
+    if deadline is not None and (
+        not isinstance(deadline, (int, float)) or deadline <= 0
+    ):
+        raise ProtocolError(
+            INVALID_PARAMS,
+            "deadline_seconds must be a positive number",
+            request_id=request_id,
+        )
+    return Request(
+        id=request_id,
+        method=method,
+        params=params,
+        deadline_seconds=float(deadline) if deadline is not None else None,
+    )
+
+
+def result_response(request_id: RequestId, result: Any) -> dict:
+    return {"id": request_id, "result": result}
+
+
+def error_response(
+    request_id: RequestId,
+    code: int,
+    message: str,
+    incident: Optional[dict] = None,
+) -> dict:
+    error: dict = {"code": code, "message": message}
+    if incident is not None:
+        error["incident"] = incident
+    return {"id": request_id, "error": error}
+
+
+def encode_line(payload: dict) -> str:
+    """One wire line: compact JSON, sorted keys (deterministic), newline."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def is_error(response: dict) -> bool:
+    return "error" in response

@@ -976,7 +976,72 @@ def build_program(source: str, filename: str = "<minigo>", collector=None) -> ir
 
     obs = collector or NULL
     with obs.span(STAGE_PARSE):
-        file = parse_file(source, filename)
+        file = parse_source_file(source, filename)
     with obs.span(STAGE_SSA):
         maybe_fault(STAGE_SSA, filename)
         return ModuleBuilder(file).build()
+
+
+def parse_source_file(source: str, filename: str = "<minigo>") -> ast.File:
+    """Parse one MiniGo source file into its AST.
+
+    This is the per-file granularity the incremental service re-parses at:
+    an edit to one file of a project re-runs only this function for that
+    file; the lowered program is then rebuilt from the (mostly cached)
+    ASTs via :func:`build_program_from_files`.
+    """
+    return parse_file(source, filename)
+
+
+def merge_files(files: List[ast.File]) -> ast.File:
+    """Merge several parsed files into one compilation unit.
+
+    MiniGo follows Go's package model: all files of a project share one
+    namespace, so merging is declaration concatenation in file order.
+    Struct and function declarations keep the line numbers of their own
+    source file (bug reports cite ``file:line`` through the declaring
+    function), and a duplicate top-level name across files is a
+    :class:`BuildError`, mirroring Go's redeclaration error.
+    """
+    if not files:
+        raise BuildError("a project needs at least one source file")
+    merged = ast.File(
+        package=files[0].package,
+        filename=files[0].filename if len(files) == 1 else "<project>",
+        source=files[0].source if len(files) == 1 else "",
+    )
+    seen: Dict[str, str] = {}
+    for file in files:
+        for decl in file.structs:
+            owner = seen.setdefault("type " + decl.name, file.filename)
+            if owner != file.filename:
+                raise BuildError(
+                    f"type {decl.name} redeclared in {file.filename} "
+                    f"(previous declaration in {owner})"
+                )
+            merged.structs.append(decl)
+        for decl in file.funcs:
+            owner = seen.setdefault("func " + decl.full_name, file.filename)
+            if owner != file.filename:
+                raise BuildError(
+                    f"func {decl.full_name} redeclared in {file.filename} "
+                    f"(previous declaration in {owner})"
+                )
+            merged.funcs.append(decl)
+    return merged
+
+
+def build_program_from_files(files: List[ast.File], collector=None) -> ir.Program:
+    """Lower already-parsed files into one IR :class:`Program`.
+
+    The parse stage is the caller's (so a warm AST cache pays nothing
+    here); only the ``ssa-build`` span runs.
+    """
+    from repro.obs import NULL, STAGE_SSA
+    from repro.resilience.faultinject import maybe_fault
+
+    obs = collector or NULL
+    merged = merge_files(files)
+    with obs.span(STAGE_SSA):
+        maybe_fault(STAGE_SSA, merged.filename)
+        return ModuleBuilder(merged).build()

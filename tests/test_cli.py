@@ -193,3 +193,136 @@ class TestStatsCommand:
         stage_names = {s["name"] for s in payload["stages"]}
         assert set(PIPELINE_STAGES) <= stage_names
         assert payload["reports"] >= 1 and payload["fixed"] == 1
+
+
+class TestServeCommand:
+    def test_stdio_round_trip(self, buggy_file, monkeypatch, capsys):
+        import io
+        import json
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys,
+            "stdin",
+            io.StringIO('{"id": 1, "method": "ping"}\n{"id": 2, "method": "shutdown"}\n'),
+        )
+        code = main(["serve", buggy_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "on stdio" in captured.err  # banner stays off the protocol channel
+        lines = [json.loads(l) for l in captured.out.splitlines()]
+        assert lines[0]["result"]["protocol"] == "repro.service/1"
+        assert lines[1]["result"]["ok"] is True
+
+    def test_unloadable_project_is_usage_error(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "nope.go")])
+        assert code == 2
+        assert "cannot load project" in capsys.readouterr().err
+
+
+class TestWatchCommand:
+    def test_initial_detect_sets_exit_code(self, buggy_file, clean_file, capsys):
+        assert main(["watch", buggy_file, "--cycles", "0"]) == 1
+        assert "watching" in capsys.readouterr().out
+        assert main(["watch", clean_file, "--cycles", "0"]) == 0
+
+
+class TestClientCommand:
+    @pytest.fixture
+    def server(self, buggy_file):
+        import threading
+
+        from repro.service import AnalysisService, serve_tcp
+
+        service = AnalysisService(buggy_file).start()
+        server = serve_tcp(service)
+        thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+        thread.start()
+        yield server.address
+        server.begin_shutdown()
+        service.stop()
+        thread.join(timeout=10)
+
+    def test_detect_exits_like_one_shot(self, server, buggy_file, capsys):
+        import json
+
+        host, port = server
+        code = main(["client", "detect", "--port", str(port)])
+        response = json.loads(capsys.readouterr().out)
+        assert code == 1 == response["result"]["code"]
+        assert code == main(["detect", buggy_file])
+
+    def test_health_and_bad_method_codes(self, server, capsys):
+        host, port = server
+        assert main(["client", "health", "--port", str(port)]) == 0
+        assert main(["client", "nonsense", "--port", str(port)]) == 2
+
+    def test_bad_params_is_usage_error(self, server, capsys):
+        host, port = server
+        assert main(["client", "ping", "--port", str(port), "--params", "not json"]) == 2
+        assert main(["client", "ping", "--port", str(port), "--params", "[1]"]) == 2
+
+    def test_connection_refused_is_usage_error(self, capsys):
+        # bind-then-close guarantees a dead port
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["client", "ping", "--port", str(port)]) == 2
+
+
+class TestExitCodeRegression:
+    """Satellite: ``python -m repro`` propagates the daemon/client exit
+    codes exactly like one-shot detect — asserted on real subprocesses."""
+
+    @staticmethod
+    def _run(argv, **kwargs):
+        import os
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [_sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+            **kwargs,
+        )
+
+    def test_daemon_client_codes_match_one_shot(self, buggy_file, clean_file):
+        import subprocess
+        import sys as _sys
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        daemon = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", buggy_file, "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = daemon.stdout.readline()
+            assert "repro-serve listening on" in banner
+            port = banner.strip().rsplit(":", 1)[1]
+            one_shot = self._run(["detect", buggy_file])
+            via_client = self._run(["client", "detect", "--port", port])
+            assert via_client.returncode == one_shot.returncode == 1
+            assert self._run(["client", "health", "--port", port]).returncode == 0
+            assert self._run(["client", "shutdown", "--port", port]).returncode == 0
+            assert daemon.wait(timeout=60) == 0
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    def test_clean_project_exits_zero_everywhere(self, clean_file):
+        assert self._run(["detect", clean_file]).returncode == 0
+        assert self._run(["watch", clean_file, "--cycles", "0"]).returncode == 0

@@ -1,0 +1,516 @@
+"""Tests for the analysis service: protocol, queue, resident project
+state, the daemon's methods, crash isolation, and the transports.
+
+The daemon's contract under test:
+
+* the wire protocol rejects garbage with the right error codes and
+  never turns a malformed line into a dead connection;
+* requests run strictly FIFO, and a request that waits out its deadline
+  in the queue is answered with DEADLINE_EXCEEDED without running;
+* a crash inside a request becomes a structured incident on *that
+  request's* error response — the daemon keeps serving afterwards;
+* the daemon's exit-code policy (``exit_code_for``) is the CLI's.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience.faultinject import injected
+from repro.service import (
+    AnalysisService,
+    ProjectState,
+    Request,
+    RequestQueue,
+    ServiceClient,
+    decode_request,
+    encode_line,
+    exit_code_for,
+    serve_stdio,
+    serve_tcp,
+)
+from repro.service.protocol import (
+    DEADLINE_EXCEEDED,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    PROTOCOL_VERSION,
+    REQUEST_FAILED,
+    SHUTTING_DOWN,
+    ProtocolError,
+)
+
+BUGGY = """package main
+
+func main() {
+\tch := make(chan int)
+\tgo func() {
+\t\tch <- 1
+\t}()
+}
+"""
+
+CLEAN = """package main
+
+func main() {
+\tch := make(chan int)
+\tgo func() {
+\t\tch <- 1
+\t}()
+\tprintln(<-ch)
+}
+"""
+
+HELPER = """package main
+
+func helper() int {
+\tdone := make(chan int, 1)
+\tdone <- 1
+\treturn <-done
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.go"
+    path.write_text(BUGGY)
+    return str(path)
+
+
+@pytest.fixture
+def project_dir(tmp_path):
+    root = tmp_path / "proj"
+    root.mkdir()
+    (root / "main.go").write_text(BUGGY)
+    (root / "helper.go").write_text(HELPER)
+    return root
+
+
+@pytest.fixture
+def service(buggy_file):
+    svc = AnalysisService(buggy_file).start()
+    yield svc
+    svc.stop()
+
+
+def ok(response):
+    assert "error" not in response, response
+    return response["result"]
+
+
+# -- protocol ---------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        request = decode_request('{"id": 7, "method": "detect", "params": {"strict": true}}')
+        assert request.id == 7
+        assert request.method == "detect"
+        assert request.params == {"strict": True}
+        assert request.deadline_seconds is None
+
+    def test_deadline_extracted_from_params(self):
+        request = decode_request(
+            '{"id": "a", "method": "ping", "params": {"deadline_seconds": 2}}'
+        )
+        assert request.deadline_seconds == 2.0
+
+    @pytest.mark.parametrize(
+        "line,code",
+        [
+            ("not json at all", PARSE_ERROR),
+            ("[1, 2, 3]", INVALID_REQUEST),
+            ('{"id": 1}', INVALID_REQUEST),
+            ('{"id": {"nested": 1}, "method": "ping"}', INVALID_REQUEST),
+            ('{"id": 1, "method": "ping", "params": []}', INVALID_PARAMS),
+            (
+                '{"id": 1, "method": "ping", "params": {"deadline_seconds": -1}}',
+                INVALID_PARAMS,
+            ),
+            (
+                '{"id": 1, "method": "ping", "params": {"deadline_seconds": "5"}}',
+                INVALID_PARAMS,
+            ),
+        ],
+    )
+    def test_rejects_garbage_with_code(self, line, code):
+        with pytest.raises(ProtocolError) as err:
+            decode_request(line)
+        assert err.value.code == code
+
+    def test_error_keeps_request_id_when_parseable(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_request('{"id": 42, "params": {}}')
+        assert err.value.request_id == 42
+
+    def test_encode_line_is_deterministic(self):
+        a = encode_line({"b": 1, "a": 2})
+        b = encode_line({"a": 2, "b": 1})
+        assert a == b
+        assert a.endswith("\n")
+
+
+# -- queue ------------------------------------------------------------------
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        seen = []
+        release = threading.Event()
+
+        def handler(request):
+            if not seen:
+                release.wait(timeout=5)
+            seen.append(request.id)
+            return {"id": request.id, "result": {}}
+
+        queue = RequestQueue(handler)
+        queue.start()
+        futures = [queue.submit(Request(id=i, method="ping")) for i in range(5)]
+        release.set()
+        for future in futures:
+            future.result(timeout=5)
+        queue.stop()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_deadline_expires_in_queue_without_running(self):
+        ran = []
+
+        def handler(request):
+            ran.append(request.id)
+            time.sleep(0.1)
+            return {"id": request.id, "result": {}}
+
+        queue = RequestQueue(handler)
+        queue.start()
+        first = queue.submit(Request(id="slow", method="ping"))
+        doomed = queue.submit(
+            Request(id="doomed", method="ping", deadline_seconds=0.01)
+        )
+        response = doomed.result(timeout=5)
+        assert response["error"]["code"] == DEADLINE_EXCEEDED
+        first.result(timeout=5)
+        queue.stop()
+        assert ran == ["slow"]
+
+    def test_submit_after_stop_refused(self):
+        queue = RequestQueue(lambda r: {"id": r.id, "result": {}})
+        queue.start()
+        queue.stop()
+        response = queue.submit(Request(id=1, method="ping")).result(timeout=5)
+        assert response["error"]["code"] == SHUTTING_DOWN
+
+    def test_stop_answers_every_queued_request(self):
+        """Drain-and-stop: nothing already queued is left hanging — every
+        future resolves to a response dict (result or SHUTTING_DOWN)."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def handler(request):
+            started.set()
+            release.wait(timeout=5)
+            return {"id": request.id, "result": {}}
+
+        queue = RequestQueue(handler)
+        queue.start()
+        running = queue.submit(Request(id="running", method="ping"))
+        waiting = queue.submit(Request(id="waiting", method="ping"))
+        started.wait(timeout=5)
+        stopper = threading.Thread(target=queue.stop)
+        stopper.start()
+        release.set()
+        stopper.join(timeout=5)
+        assert "result" in running.result(timeout=5)
+        late = waiting.result(timeout=5)
+        assert "result" in late or late["error"]["code"] == SHUTTING_DOWN
+
+
+# -- resident project state -------------------------------------------------
+
+
+class TestProjectState:
+    def test_load_single_file(self, buggy_file):
+        state = ProjectState(buggy_file)
+        delta = state.load()
+        assert delta.reparsed == 1
+        assert state.generation == 1
+        assert state.is_single_file
+        assert "main" in state.digests
+
+    def test_noop_refresh_keeps_generation(self, buggy_file):
+        state = ProjectState(buggy_file)
+        state.load()
+        program = state.program
+        delta = state.refresh()
+        assert delta.is_noop()
+        assert delta.reparsed == 0
+        assert state.generation == 1
+        assert state.program is program  # same object, not a rebuild
+
+    def test_edit_reparses_only_changed_file(self, project_dir):
+        state = ProjectState(str(project_dir))
+        state.load()
+        assert state.generation == 1 and len(state.files) == 2
+        (project_dir / "main.go").write_text(CLEAN)
+        delta = state.refresh()
+        assert delta.reparsed == 1
+        assert [p.endswith("main.go") for p in delta.changed_files] == [True]
+        assert delta.changed_functions  # main's body changed
+        assert state.generation == 2
+
+    def test_added_and_removed_files(self, project_dir):
+        state = ProjectState(str(project_dir))
+        state.load()
+        extra = project_dir / "zz_extra.go"
+        extra.write_text("package main\n\nfunc extra() {}\n")
+        delta = state.refresh()
+        assert delta.added_files and delta.added_functions == ["extra"]
+        extra.unlink()
+        delta = state.refresh()
+        assert delta.removed_files and delta.removed_functions == ["extra"]
+
+    def test_broken_edit_keeps_previous_generation(self, buggy_file, tmp_path):
+        state = ProjectState(buggy_file)
+        state.load()
+        program = state.program
+        open(buggy_file, "w").write("package main\nfunc main() { !!!! }\n")
+        with pytest.raises(Exception):
+            state.refresh()
+        # crash-safe: the previous generation is still serving
+        assert state.generation == 1
+        assert state.program is program
+
+
+# -- the daemon -------------------------------------------------------------
+
+
+class TestDaemonMethods:
+    def test_ping(self, service):
+        result = ok(service.call("ping"))
+        assert result["protocol"] == PROTOCOL_VERSION
+        assert result["generation"] == 1
+
+    def test_detect_finds_bug_with_exit_code(self, service):
+        result = ok(service.call("detect"))
+        assert result["code"] == 1
+        assert result["reports"]
+        assert result["shards"]["total"] > 0
+        assert result["refresh"]["noop"] is True
+
+    def test_warm_repeat_is_fully_cached(self, service):
+        ok(service.call("detect"))
+        result = ok(service.call("detect"))
+        assert result["shards"]["skip_rate"] == 1.0
+        assert result["delta"]["invalidated"] == []
+        assert result["delta"]["reused"]
+
+    def test_unknown_method(self, service):
+        response = service.call("nonsense")
+        assert response["error"]["code"] == METHOD_NOT_FOUND
+
+    def test_fix_on_single_file(self, service):
+        result = ok(service.call("fix"))
+        assert result["bugs"] == 1 and result["fixed"] == 1
+        assert "make(chan int, 1)" in result["fixes"][0]["diff"]
+
+    def test_fix_on_multi_file_project_is_invalid_params(self, project_dir):
+        svc = AnalysisService(str(project_dir)).start()
+        try:
+            response = svc.call("fix")
+            assert response["error"]["code"] == INVALID_PARAMS
+            # a params error is not a crash: no incident anywhere
+            assert "incident" not in response["error"]
+            assert not svc.firewall.incidents
+        finally:
+            svc.stop()
+
+    def test_refresh_reports_delta(self, service, buggy_file):
+        ok(service.call("detect"))
+        open(buggy_file, "w").write(CLEAN)
+        result = ok(service.call("refresh", {"plan": True}))
+        assert result["noop"] is False
+        assert result["changed_functions"]
+        assert result["invalidation"]["total"] > 0
+
+    def test_metrics_exposes_counters_and_cache(self, service):
+        ok(service.call("detect"))
+        result = ok(service.call("metrics"))
+        assert result["counters"]["service.method.detect"] == 1
+        assert "cache" in result and result["cache"]["entries"] > 0
+        assert result["incidents"] == []
+
+    def test_stats_is_obs_snapshot(self, service):
+        ok(service.call("detect"))
+        result = ok(service.call("stats"))
+        assert result["schema"] == "repro.obs/1"
+        assert result["generation"] == 1
+
+    def test_shutdown_flags_service(self, service):
+        result = ok(service.call("shutdown"))
+        assert result["ok"] and service.shutting_down
+
+    def test_health_matches_cli_semantics(self, service):
+        assert ok(service.call("health"))["health"] == "ok"
+        ok(service.call("detect"))
+        result = ok(service.call("health"))
+        assert result["health"] == "ok"
+        assert result["code"] == 0  # findings are exit 1 on detect, not health
+        assert result["last"]["code"] == 1
+
+
+class TestCrashIsolation:
+    def test_crashed_request_returns_incident_daemon_survives(self, service):
+        with injected("service-request@detect:raise:times=1"):
+            response = service.call("detect")
+        error = response["error"]
+        assert error["code"] == REQUEST_FAILED
+        assert error["incident"]["site"] == "service-request"
+        # the daemon is still serving, and health degraded (not failed)
+        result = ok(service.call("detect"))
+        assert result["code"] == 1
+        health = ok(service.call("health"))
+        assert health["health"] in ("ok", "degraded")
+        assert health["incidents"] >= 1
+
+    def test_health_degrades_after_crash_without_analysis(self, service):
+        with injected("service-request@ping:raise:times=1"):
+            assert "error" in service.call("ping")
+        health = ok(service.call("health"))
+        assert health["health"] == "degraded"
+        assert health["code"] == 0
+
+    def test_broken_edit_degrades_detect_not_daemon(self, service, buggy_file):
+        baseline = ok(service.call("detect"))
+        open(buggy_file, "w").write("package main\nfunc main() { !!!! }\n")
+        result = ok(service.call("detect"))
+        # refresh failed but the previous generation still answered
+        assert result["refresh"]["failed"] is True
+        assert result["generation"] == baseline["generation"]
+        assert len(result["reports"]) == len(baseline["reports"])
+        open(buggy_file, "w").write(BUGGY)
+        assert ok(service.call("detect"))["refresh"].get("failed") is None
+
+
+class TestExitCodePolicy:
+    """``exit_code_for`` is the one-shot CLI policy, by construction and
+    by test: 0 clean, 1 findings, 3 budget (opt-in), 4 resilience."""
+
+    def test_matches_cli_constants(self):
+        from repro.cli import EXIT_INCIDENT, EXIT_TIMEOUT
+
+        assert exit_code_for(0, False, "ok", 0) == 0
+        assert exit_code_for(2, False, "ok", 0) == 1
+        assert exit_code_for(0, True, "ok", 0) == 0  # timeouts are opt-in
+        assert exit_code_for(0, True, "degraded", 1, fail_on_timeout=True) == EXIT_TIMEOUT
+        assert exit_code_for(0, False, "degraded", 1) == 0
+        assert exit_code_for(0, False, "degraded", 1, strict=True) == EXIT_INCIDENT
+        assert exit_code_for(5, False, "failed", 3) == EXIT_INCIDENT
+
+
+# -- transports -------------------------------------------------------------
+
+
+class TestStdioTransport:
+    def test_serve_lines_until_shutdown(self, buggy_file):
+        import io
+        import json
+
+        service = AnalysisService(buggy_file).start()
+        stdin = io.StringIO(
+            '{"id": 1, "method": "ping"}\n'
+            "\n"
+            "garbage\n"
+            '{"id": 2, "method": "shutdown"}\n'
+            '{"id": 3, "method": "ping"}\n'  # after shutdown: never served
+        )
+        stdout = io.StringIO()
+        assert serve_stdio(service, stdin=stdin, stdout=stdout) == 0
+        lines = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        assert [l["id"] for l in lines] == [1, None, 2]
+        assert lines[0]["result"]["protocol"] == PROTOCOL_VERSION
+        assert lines[1]["error"]["code"] == PARSE_ERROR
+        assert lines[2]["result"]["ok"] is True
+
+
+class TestTcpTransport:
+    def test_full_session_over_socket(self, buggy_file):
+        service = AnalysisService(buggy_file).start()
+        server = serve_tcp(service)
+        host, port = server.address
+        thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient(host, port) as client:
+                assert client.result("ping")["protocol"] == PROTOCOL_VERSION
+                detect = client.result("detect")
+                assert detect["code"] == 1 and detect["reports"]
+                # edit to clean over the live daemon
+                open(buggy_file, "w").write(CLEAN)
+                clean = client.result("detect")
+                assert clean["code"] == 0 and not clean["reports"]
+                assert clean["refresh"]["noop"] is False
+                assert clean["delta"]["invalidated"] or clean["delta"]["added"]
+                assert client.result("shutdown")["ok"] is True
+        finally:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+
+    def test_request_error_is_not_a_dead_connection(self, buggy_file):
+        from repro.service import ServiceRequestError
+
+        service = AnalysisService(buggy_file).start()
+        server = serve_tcp(service)
+        host, port = server.address
+        thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceRequestError) as err:
+                    client.result("nonsense")
+                assert err.value.code == METHOD_NOT_FOUND
+                # same connection still works
+                assert client.result("ping")["ok"] is True
+                client.result("shutdown")
+        finally:
+            thread.join(timeout=10)
+
+
+class TestWatcher:
+    def test_poll_reports_content_changes_only(self, project_dir):
+        from repro.service import Watcher
+
+        watcher = Watcher(str(project_dir))
+        assert watcher.poll() == []
+        target = project_dir / "main.go"
+        target.write_text(CLEAN)
+        changed = watcher.poll()
+        assert len(changed) == 1 and changed[0].endswith("main.go")
+        assert watcher.poll() == []
+        # touching mtime without changing bytes is not a change
+        import os
+
+        os.utime(target, None)
+        assert watcher.poll() == []
+
+    def test_run_watch_detects_edit(self, buggy_file, monkeypatch):
+        from repro.service import run_watch
+
+        lines = []
+        edited = {"done": False}
+        real_sleep = time.sleep
+
+        def sleep_and_edit(seconds):
+            if not edited["done"]:
+                edited["done"] = True
+                open(buggy_file, "w").write(CLEAN)
+            real_sleep(0)
+
+        monkeypatch.setattr(time, "sleep", sleep_and_edit)
+        code = run_watch(buggy_file, interval=0, max_cycles=2, out=lines.append)
+        assert code == 0  # last detect saw the clean program
+        text = "\n".join(lines)
+        assert "watching" in text
+        assert "RESOLVED" in text
