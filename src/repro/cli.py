@@ -269,6 +269,92 @@ def cmd_diffcheck(args: argparse.Namespace) -> int:
     return 1 if report.unexplained() else 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Generative differential fuzz campaign over seeded MiniGo programs."""
+    import os
+
+    from repro.fuzz import (
+        BUCKET_UNEXPLAINED,
+        generate_program,
+        minimize_program,
+        run_campaign,
+        triage_program,
+    )
+    from repro.fuzz.campaign import CampaignConfig
+    from repro.resilience.firewall import RetryPolicy
+
+    config = CampaignConfig(
+        max_runs=args.budget,
+        max_steps=args.max_steps,
+        max_total_steps=args.total_steps,
+        jobs=args.jobs,
+        backend=args.backend,
+        max_retries=args.max_retries,
+    )
+    collector = Collector(f"fuzz-s{args.seed}") if args.json else None
+    policy = RetryPolicy(max_retries=args.max_retries) if args.max_retries else None
+    if args.only is not None:
+        # replay one program of the campaign: the minimize/dump workflow
+        program = generate_program(args.seed, args.only)
+        triage = triage_program(program, config=config, collector=collector)
+        if args.minimize and triage.bucket == BUCKET_UNEXPLAINED:
+            program = minimize_program(program, triage, config=config)
+            triage = triage_program(program, config=config)
+        if args.dump_dir:
+            os.makedirs(args.dump_dir, exist_ok=True)
+            path = os.path.join(args.dump_dir, program.name + ".go")
+            with open(path, "w") as handle:
+                handle.write(_provenance_header(program) + program.source)
+            print(f"wrote {path}", file=sys.stderr)
+        if args.json:
+            print(json_dumps(triage.to_dict()))
+        else:
+            print(program.source)
+            print(f"{triage.bucket}: {triage.classification or triage.error} "
+                  f"{triage.explanation}".rstrip())
+        return _fuzz_exit(triage.bucket == BUCKET_UNEXPLAINED,
+                          triage.bucket in ("parse-crash", "analysis-incident"))
+    report = run_campaign(
+        args.seed, args.count, config=config, collector=collector, retry_policy=policy
+    )
+    if args.dump_dir and report.unexplained():
+        os.makedirs(args.dump_dir, exist_ok=True)
+        for triage in report.unexplained():
+            program = generate_program(args.seed, triage.index)
+            if args.minimize:
+                program = minimize_program(program, triage, config=config)
+            path = os.path.join(args.dump_dir, program.name + ".go")
+            with open(path, "w") as handle:
+                handle.write(_provenance_header(program) + program.source)
+            print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(json_dumps(report.to_json()))
+    else:
+        print(report.render())
+    return _fuzz_exit(bool(report.unexplained()), bool(report.crashes()))
+
+
+def _provenance_header(program) -> str:
+    """Comment block tying a dumped program back to its generator seed."""
+    recipe = "; ".join(
+        f"{s.template}[{s.uid} {s.placement}"
+        + (f" {','.join(s.mutations)}" if s.mutations else "")
+        + "]"
+        for s in program.motifs
+    )
+    return (
+        f"// {program.name}: generated by `repro fuzz --seed "
+        f"{program.campaign_seed} --only {program.index}`\n// recipe: {recipe}\n"
+    )
+
+
+def _fuzz_exit(unexplained: bool, crashed: bool) -> int:
+    """Campaign exit policy: crashes trump findings trump clean."""
+    if crashed:
+        return EXIT_INCIDENT
+    return 1 if unexplained else 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Full pipeline (detect → fix → explore) under one Collector."""
     collector = Collector(args.file)
@@ -529,6 +615,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the report as repro.obs-schema JSON")
     p.set_defaults(func=cmd_diffcheck)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="generative differential fuzz campaign (static vs dynamic oracle)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; (seed, index) replays any program")
+    p.add_argument("--count", type=int, default=100,
+                   help="number of generated programs")
+    p.add_argument("--budget", type=int, default=128,
+                   help="schedule-exploration run budget per program")
+    p.add_argument("--max-steps", type=int, default=6000,
+                   help="per-run interpreter step bound")
+    p.add_argument("--total-steps", type=int, default=120_000,
+                   help="deterministic cross-run step budget per program")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="engine shard parallelism for the static oracle "
+                        "(default: REPRO_JOBS, else serial)")
+    p.add_argument("--backend", choices=["thread", "process"], default=None,
+                   help="pool backend for --jobs")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="transient-failure retries per program")
+    p.add_argument("--only", type=int, default=None, metavar="INDEX",
+                   help="replay a single program of the campaign by index")
+    p.add_argument("--minimize", action="store_true",
+                   help="shrink unexplained programs to a minimal recipe "
+                        "before dumping")
+    p.add_argument("--dump-dir", default=None,
+                   help="write unexplained program sources (with seed "
+                        "provenance headers) into this directory")
+    p.add_argument("--json", action="store_true",
+                   help="emit the campaign report as repro.obs-schema JSON")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("stats", help="full pipeline under the observability layer")
     p.add_argument("file")

@@ -1,0 +1,119 @@
+"""Checked-in fuzz findings: minimized unexplained disagreements.
+
+The seed→minimize→regress workflow (see DESIGN.md): when a fuzz campaign
+surfaces an unexplained disagreement between the static and dynamic
+oracles, the program is replayed from its ``(campaign_seed, index)``
+provenance, shrunk with :func:`repro.fuzz.minimize.minimize_program` to
+the smallest recipe that still reproduces the finding, and checked in
+here. Each entry is a live detector-gap: ``tests/test_fuzz_regressions``
+locks today's (wrong) triage so the gap cannot silently move, and marks
+the *desired* agreement as a strict ``xfail`` so closing the gap flips
+the test and forces this file to shrink.
+
+The three entries below are the complete set of finding *shapes* from a
+25-seed × 200-program hunt (40 raw findings, every one an instance of
+these shapes; zero campaign crashes):
+
+* ``bmocc_s3_pump``/``bmocc_s3_loop`` + ``buffer-grow`` — BMOC misses
+  the multiple-operations leak once the channel gets a buffer: the
+  buffered model satisfies the first send, and the encoding does not
+  chase the later operation that still blocks. Exhaustive exploration
+  exhibits the leak. A static false negative (``dynamic-only``).
+* ``bmocc_s1_race`` + ``drop-close`` — removing the ``close`` leaves a
+  select arm reading a channel that no goroutine will ever send on or
+  close; BMOC still reports the original blocking pattern, but the
+  select's other arm always rescues the goroutine, and exhaustive
+  search proves no leak. A static false positive (``static-only``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.fuzz.campaign import CampaignConfig, ProgramTriage, triage_program
+from repro.fuzz.generator import INLINE, NESTED, GeneratedProgram, MotifSpec, realize
+
+
+@dataclass(frozen=True)
+class FuzzRegression:
+    """One minimized finding with full replay provenance."""
+
+    name: str
+    campaign_seed: int  # `repro fuzz --seed` that surfaced it
+    index: int  # `--only` index within that campaign
+    motifs: Tuple[MotifSpec, ...]  # the minimized recipe
+    classification: str  # today's (wrong) reconciliation
+    diagnosis: str  # one-line root cause of the detector gap
+
+    def program(self) -> GeneratedProgram:
+        """The minimal program, re-rendered from the checked-in recipe."""
+        return realize(self.campaign_seed, self.index, self.motifs)
+
+    def triage(self, config: Optional[CampaignConfig] = None) -> ProgramTriage:
+        return triage_program(self.program(), config=config or CampaignConfig())
+
+
+FUZZ_REGRESSIONS: Tuple[FuzzRegression, ...] = (
+    FuzzRegression(
+        name="buffered-pump-missed-leak",
+        campaign_seed=1,
+        index=12,
+        motifs=(
+            MotifSpec(
+                template="bmocc_s3_pump",
+                uid="M0",
+                placement=NESTED,
+                mutations=("buffer-grow",),
+                arg=2,
+            ),
+        ),
+        classification="dynamic-only",
+        diagnosis=(
+            "BMOC models only the first blocking operation; a buffer "
+            "absorbs it and the later send that still leaks goes unchased"
+        ),
+    ),
+    FuzzRegression(
+        name="buffered-loop-missed-leak",
+        campaign_seed=4,
+        index=185,
+        motifs=(
+            MotifSpec(
+                template="bmocc_s3_loop",
+                uid="M0",
+                placement=INLINE,
+                mutations=("buffer-grow",),
+                arg=3,
+            ),
+        ),
+        classification="dynamic-only",
+        diagnosis=(
+            "same gap as buffered-pump-missed-leak via the loop variant: "
+            "the buffered first iteration hides the blocking tail"
+        ),
+    ),
+    FuzzRegression(
+        name="closeless-select-false-alarm",
+        campaign_seed=8,
+        index=137,
+        motifs=(
+            MotifSpec(
+                template="bmocc_s1_race",
+                uid="M0",
+                placement=INLINE,
+                mutations=("drop-close",),
+                arg=2,
+            ),
+        ),
+        classification="static-only",
+        diagnosis=(
+            "with the close() dropped the select's quit arm is dead, but "
+            "its data arm still always rescues the goroutine; BMOC keeps "
+            "reporting the original pattern while exhaustive search "
+            "proves no schedule leaks"
+        ),
+    ),
+)
+
+REGRESSIONS_BY_NAME = {case.name: case for case in FUZZ_REGRESSIONS}

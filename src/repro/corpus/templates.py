@@ -1243,3 +1243,19 @@ TRADITIONAL_FP: Dict[str, Callable[[str], TemplateInstance]] = {
     CONFLICT_LOCK: conflict_lock_fp,
     STRUCT_RACE: struct_race_fp,
 }
+
+#: every template factory by name, in deterministic order — the motif
+#: library the generative fuzzer (:mod:`repro.fuzz.generator`) draws from
+ALL_TEMPLATES: Dict[str, Callable[[str], TemplateInstance]] = {
+    factory.__name__: factory
+    for factory in sorted(
+        {f for group in REAL_BMOCC_BY_STRATEGY.values() for f in group}
+        | set(UNFIXABLE_BY_REASON.values())
+        | {f for group in FP_BMOCC_BY_CAUSE.values() for f in group}
+        | set(TRADITIONAL_REAL.values())
+        | set(TRADITIONAL_FP.values())
+        | set(BENIGN_TEMPLATES)
+        | {bmocm_real, fp_bmocm},
+        key=lambda factory: factory.__name__,
+    )
+}

@@ -29,7 +29,7 @@ benchmark suite asserts empty.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.bugset import BugCase, build_bug_set
 from repro.detector.gcatch import run_gcatch
@@ -41,6 +41,92 @@ AGREE_CLEAN = "agree-clean"
 STATIC_ONLY = "static-only"
 DYNAMIC_ONLY = "dynamic-only"
 DIVERGENCE = "divergence"
+
+#: every classification a reconciled verdict can carry, in report order
+CLASSIFICATIONS = (AGREE_BUG, AGREE_CLEAN, STATIC_ONLY, DYNAMIC_ONLY, DIVERGENCE)
+
+
+@dataclass(frozen=True)
+class Explanations:
+    """Documented causes that can explain an oracle disagreement.
+
+    The three disagreement classes have *different* legitimate causes, so
+    an explanation only discharges the class it is declared for: a corpus
+    ``miss_reason`` (a known static false negative) explains a
+    ``dynamic-only`` leak but never a ``static-only`` report, while a
+    seeded FP template (a known static false positive) explains the
+    reverse. Anything not covered stays an unexplained finding.
+    """
+
+    dynamic_only: Tuple[str, ...] = ()
+    static_only: Tuple[str, ...] = ()
+    divergence: Tuple[str, ...] = ()
+
+    @staticmethod
+    def for_case(case: BugCase) -> "Explanations":
+        """A corpus case's miss_reason explains missed leaks/divergence."""
+        miss = (case.miss_reason,) if case.miss_reason else ()
+        return Explanations(dynamic_only=miss, divergence=miss)
+
+
+def dynamic_verdict(exploration: Exploration) -> str:
+    """Collapse an exploration into the dynamic oracle's verdict."""
+    if exploration.any_leak:
+        return "leak"
+    if exploration.step_limited_runs:
+        return "divergence"
+    return "clean"
+
+
+def classify_oracles(
+    static_bug: bool,
+    exploration: Exploration,
+    explanations: Explanations = Explanations(),
+) -> Tuple[str, str, bool, str]:
+    """Reconcile the two oracles' verdicts on one program.
+
+    Returns ``(dynamic, classification, explained, explanation)`` — the
+    shared core of :func:`diff_case` (corpus sweep) and the fuzz-campaign
+    triage (:mod:`repro.fuzz.campaign`).
+    """
+    dynamic = dynamic_verdict(exploration)
+    if dynamic == "leak":
+        if static_bug:
+            return dynamic, AGREE_BUG, True, ""
+        # a leak the static analysis missed: fine iff a documented reason
+        # places this shape outside BMOC's model
+        cause = "; ".join(explanations.dynamic_only)
+        return dynamic, DYNAMIC_ONLY, bool(cause), cause
+    if dynamic == "divergence":
+        cause = "; ".join(explanations.divergence)
+        return dynamic, DIVERGENCE, bool(cause), cause
+    # dynamically clean
+    if static_bug:
+        if not exploration.complete:
+            # bounded search proves nothing; flag it but name the bound
+            return dynamic, STATIC_ONLY, True, "search truncated by bound"
+        cause = "; ".join(explanations.static_only)
+        if cause:
+            return dynamic, STATIC_ONLY, True, cause
+        return dynamic, STATIC_ONLY, False, "exhaustive search found no leak"
+    return dynamic, AGREE_CLEAN, True, ""
+
+
+def aggregate_verdicts(verdicts: Sequence["CaseVerdict"]) -> Dict[str, object]:
+    """Campaign/corpus-level rollup of a batch of reconciled verdicts."""
+    by_class = {c: 0 for c in CLASSIFICATIONS}
+    unexplained = []
+    for v in verdicts:
+        by_class[v.classification] = by_class.get(v.classification, 0) + 1
+        if v.classification in (STATIC_ONLY, DYNAMIC_ONLY, DIVERGENCE) and not v.explained:
+            unexplained.append(v.case_id)
+    agreed = by_class[AGREE_BUG] + by_class[AGREE_CLEAN]
+    return {
+        "total": len(verdicts),
+        "by_class": by_class,
+        "agreement_rate": (agreed / len(verdicts)) if verdicts else 1.0,
+        "unexplained": unexplained,
+    }
 
 
 @dataclass
@@ -128,6 +214,7 @@ class DifferentialReport:
             "max_runs": self.max_runs,
             "max_steps": self.max_steps,
             "agreement_rate": self.agreement_rate,
+            "by_class": aggregate_verdicts(self.verdicts)["by_class"],
             "unexplained": [v.case_id for v in self.unexplained()],
             "verdicts": [v.to_dict() for v in self.verdicts],
         }
@@ -162,38 +249,9 @@ def _classify(
     static_reports: int,
     exploration: Exploration,
 ) -> CaseVerdict:
-    if exploration.any_leak:
-        dynamic = "leak"
-    elif exploration.step_limited_runs:
-        dynamic = "divergence"
-    else:
-        dynamic = "clean"
-
-    miss = case.miss_reason or ""
-    if dynamic == "leak":
-        if static_bug:
-            classification, explained, explanation = AGREE_BUG, True, ""
-        else:
-            # a leak the static analysis missed: fine iff the corpus
-            # documents *why* this shape is outside BMOC's model
-            classification = DYNAMIC_ONLY
-            explained = bool(miss)
-            explanation = miss
-    elif dynamic == "divergence":
-        classification = DIVERGENCE
-        explained = bool(miss)
-        explanation = miss
-    else:  # dynamically clean
-        if static_bug:
-            classification = STATIC_ONLY
-            if exploration.complete:
-                explained, explanation = False, "exhaustive search found no leak"
-            else:
-                # bounded search proves nothing; flag it but name the bound
-                explained, explanation = True, "search truncated by bound"
-        else:
-            classification, explained, explanation = AGREE_CLEAN, True, ""
-
+    dynamic, classification, explained, explanation = classify_oracles(
+        static_bug, exploration, Explanations.for_case(case)
+    )
     return CaseVerdict(
         case_id=case.case_id,
         static_bug=static_bug,

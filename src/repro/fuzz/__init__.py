@@ -1,0 +1,51 @@
+"""Generative MiniGo fuzzing with a static↔dynamic differential oracle.
+
+The corpus seeds 49 known bugs; this package synthesizes *unbounded*
+program populations from the same motif library and uses the two
+independent oracles — GCatch's static detector and the bounded schedule
+explorer — as each other's checker. Every generated program that makes
+the oracles disagree *without a documented cause* is a finding, carrying
+the ``(campaign_seed, index)`` pair that regenerates it byte-for-byte.
+
+* :mod:`repro.fuzz.generator` — seeded, deterministic program synthesis:
+  motif selection, parameter mutation, interleaving and nesting;
+* :mod:`repro.fuzz.campaign` — the campaign driver: parse → detect
+  (through the sharded engine) → explore → classify, each program behind
+  the resilience firewall, with triage into parse-crash /
+  analysis-incident / agree / explained / unexplained buckets;
+* :mod:`repro.fuzz.minimize` — motif/mutation-level delta debugging of an
+  interesting program down to a minimal reproducer.
+"""
+
+from repro.fuzz.campaign import (
+    BUCKETS,
+    BUCKET_AGREE,
+    BUCKET_EXPLAINED,
+    BUCKET_INCIDENT,
+    BUCKET_PARSE_CRASH,
+    BUCKET_UNEXPLAINED,
+    CampaignReport,
+    ProgramTriage,
+    run_campaign,
+    triage_program,
+)
+from repro.fuzz.generator import GeneratedProgram, MotifSpec, generate_program, realize
+from repro.fuzz.minimize import minimize_program
+
+__all__ = [
+    "BUCKETS",
+    "BUCKET_AGREE",
+    "BUCKET_EXPLAINED",
+    "BUCKET_INCIDENT",
+    "BUCKET_PARSE_CRASH",
+    "BUCKET_UNEXPLAINED",
+    "CampaignReport",
+    "GeneratedProgram",
+    "MotifSpec",
+    "ProgramTriage",
+    "generate_program",
+    "minimize_program",
+    "realize",
+    "run_campaign",
+    "triage_program",
+]

@@ -1,0 +1,258 @@
+"""Seeded generative MiniGo program synthesis from corpus motifs.
+
+A generated program is a *recipe* — an ordered tuple of
+:class:`MotifSpec` — rendered into source by a pure function, so the
+same ``(campaign_seed, index)`` pair regenerates the identical program on
+every machine, and the minimizer can drop motifs/mutations from the
+recipe and re-render without re-running the RNG.
+
+Composition axes, all drawn from one ``random.Random`` seeded with
+``"repro-fuzz:<seed>:<index>"`` (string seeding hashes with SHA-512, so
+results do not depend on ``PYTHONHASHSEED``):
+
+* **motif selection** — 1–4 templates from
+  :data:`repro.corpus.templates.ALL_TEMPLATES` (bugs, documented FP
+  inducers, traditional shapes, benign background), possibly repeated;
+* **parameter mutation** — textual, semantics-changing edits applied to
+  the motif body: grow/shrink channel buffers, rescale loop bounds, drop
+  a ``close``. Both oracles see the mutated program, so a mutation that
+  fixes or plants a bug must move them *together* — divergence is the
+  signal, not the mutation;
+* **interleaving** — each motif's driver is called inline, spawned on a
+  goroutine joined through a buffered channel, or nested behind a
+  conditional wrapper (exercising call-graph/path machinery), in recipe
+  order, optionally twice.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.templates import ALL_TEMPLATES, TemplateInstance
+
+#: placements a motif's driver can get in the generated harness
+INLINE = "inline"
+SPAWN = "spawn"
+NESTED = "nested"
+
+#: mutation operators, in application order
+MUTATIONS = ("buffer-grow", "buffer-shrink", "loop-bound", "drop-close")
+
+_TEMPLATE_NAMES: Tuple[str, ...] = tuple(ALL_TEMPLATES)
+
+_UNBUFFERED_MAKE = re.compile(r"make\(chan ([^,)]+)\)")
+_BUFFERED_MAKE = re.compile(r"make\(chan ([^,)]+), (\d+)\)")
+_LOOP_BOUND = re.compile(r"(for [^\n{]*< )(\d+)")
+_CLOSE_LINE = re.compile(r"^[ \t]*close\([^)]*\)[ \t]*\n", re.MULTILINE)
+
+
+@dataclass(frozen=True)
+class MotifSpec:
+    """One motif of a recipe: which template, how mutated, how driven."""
+
+    template: str  # factory name in ALL_TEMPLATES
+    uid: str  # identifier suffix woven into the instance's names
+    placement: str  # INLINE | SPAWN | NESTED
+    mutations: Tuple[str, ...] = ()  # effective mutation ops, in order
+    dup: bool = False  # call the driver twice
+    arg: int = 1  # parameter fed to buffer-grow / loop-bound
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A rendered recipe plus everything needed to replay or shrink it."""
+
+    campaign_seed: int
+    index: int
+    motifs: Tuple[MotifSpec, ...]
+    source: str
+    entry: str
+
+    @property
+    def name(self) -> str:
+        return f"fuzz-s{self.campaign_seed}-p{self.index}"
+
+    def templates(self) -> Tuple[str, ...]:
+        return tuple(spec.template for spec in self.motifs)
+
+    def mutation_tags(self) -> Tuple[str, ...]:
+        return tuple(
+            f"{spec.uid}:{op}" for spec in self.motifs for op in spec.mutations
+        )
+
+    def instances(self) -> List[TemplateInstance]:
+        return [ALL_TEMPLATES[spec.template](spec.uid) for spec in self.motifs]
+
+
+def apply_mutation(code: str, op: str, arg: int) -> str:
+    """Apply one mutation operator; returns ``code`` unchanged on no match."""
+    if op == "buffer-grow":
+        return _UNBUFFERED_MAKE.sub(
+            lambda m: f"make(chan {m.group(1)}, {max(1, arg)})", code, count=1
+        )
+    if op == "buffer-shrink":
+        return _BUFFERED_MAKE.sub(lambda m: f"make(chan {m.group(1)})", code, count=1)
+    if op == "loop-bound":
+        return _LOOP_BOUND.sub(
+            lambda m: f"{m.group(1)}{1 + arg % 4}", code, count=1
+        )
+    if op == "drop-close":
+        return _CLOSE_LINE.sub("", code, count=1)
+    raise ValueError(f"unknown mutation op {op!r}; valid: {', '.join(MUTATIONS)}")
+
+
+def _mutated_code(instance: TemplateInstance, spec: MotifSpec) -> str:
+    code = instance.code
+    for op in spec.mutations:
+        code = apply_mutation(code, op, spec.arg)
+    return code
+
+
+_SIG = re.compile(r"func (\w+)\(([^)]*)\)")
+
+
+def _driver_call(code: str, driver: str) -> Optional[str]:
+    """Build a call expression for ``driver``, synthesizing literal args.
+
+    Returns None when a parameter type has no synthesizable literal — the
+    caller must then drop the motif (an uncalled real-bug motif would be a
+    guaranteed static-only artifact, not a finding).
+    """
+    for match in _SIG.finditer(code):
+        if match.group(1) != driver:
+            continue
+        params = match.group(2).strip()
+        if not params:
+            return f"{driver}()"
+        args = []
+        for param in params.split(","):
+            kind = param.strip().split()[-1] if param.strip() else ""
+            if kind == "int":
+                args.append("0")
+            elif kind == "bool":
+                args.append("false")
+            elif kind == "string":
+                args.append('""')
+            elif kind == "*testing.T":
+                args.append("t")
+            else:
+                return None
+        return f"{driver}({', '.join(args)})"
+    return None
+
+
+def render(
+    campaign_seed: int, index: int, motifs: Sequence[MotifSpec]
+) -> GeneratedProgram:
+    """Pure rendering of a recipe into one MiniGo source file."""
+    parts: List[str] = ["package main"]
+    harness: List[str] = []
+    joins: List[str] = []
+    needs_t = False
+    for spec in motifs:
+        instance = ALL_TEMPLATES[spec.template](spec.uid)
+        code = _mutated_code(instance, spec)
+        parts.append(code.strip("\n"))
+        call = _driver_call(code, instance.driver or "")
+        if call is None:
+            continue
+        call_args = call[call.index("(") + 1 : -1]
+        if "t" in (a.strip() for a in call_args.split(",")):
+            needs_t = True
+        if spec.placement == SPAWN:
+            harness.append(f"fzDone{spec.uid} := make(chan int, 1)")
+            harness.append("go func() {")
+            harness.append(f"\t{call}")
+            harness.append(f"\tfzDone{spec.uid} <- 1")
+            harness.append("}()")
+            joins.append(f"<-fzDone{spec.uid}")
+        elif spec.placement == NESTED:
+            parts.append(
+                f"func fzNest{spec.uid}(on bool) {{\n\tif on {{\n\t\t{call}\n\t}}\n}}"
+            )
+            harness.append(f"fzNest{spec.uid}(true)")
+            if spec.dup:
+                harness.append(f"fzNest{spec.uid}(false)")
+        else:
+            harness.append(call)
+            if spec.dup:
+                harness.append(call)
+    entry = "fuzzEntry"
+    signature = f"func {entry}(t *testing.T)" if needs_t else f"func {entry}()"
+    body = "\n".join("\t" + line for line in harness + joins) or "\tprintln(0)"
+    parts.append(f"{signature} {{\n{body}\n}}")
+    source = "\n\n".join(parts) + "\n"
+    return GeneratedProgram(
+        campaign_seed=campaign_seed,
+        index=index,
+        motifs=tuple(motifs),
+        source=source,
+        entry=entry,
+    )
+
+
+def realize(
+    campaign_seed: int, index: int, motifs: Sequence[MotifSpec]
+) -> GeneratedProgram:
+    """Re-render a (possibly shrunk) recipe — the minimizer's rebuild hook."""
+    return render(campaign_seed, index, motifs)
+
+
+#: per-op mutation probability; kept low so most programs stay close to a
+#: template whose expected behaviour is documented
+_MUTATION_P: Dict[str, float] = {
+    "buffer-grow": 0.18,
+    "buffer-shrink": 0.18,
+    "loop-bound": 0.25,
+    "drop-close": 0.12,
+}
+
+#: recipe sizes, weighted toward small programs (explorer cost is
+#: exponential in concurrently-active motifs)
+_SIZES = (1, 1, 1, 2, 2, 2, 2, 3, 3, 4)
+
+
+def generate_program(campaign_seed: int, index: int) -> GeneratedProgram:
+    """Deterministically synthesize program ``index`` of a campaign."""
+    rng = random.Random(f"repro-fuzz:{campaign_seed}:{index}")
+    count = rng.choice(_SIZES)
+    specs: List[MotifSpec] = []
+    spawns = 0
+    for k in range(count):
+        template = rng.choice(_TEMPLATE_NAMES)
+        uid = f"M{k}"
+        instance = ALL_TEMPLATES[template](uid)
+        arg = rng.randint(1, 3)
+        ops: List[str] = []
+        code = instance.code
+        for op in MUTATIONS:
+            if rng.random() < _MUTATION_P[op]:
+                mutated = apply_mutation(code, op, arg)
+                if mutated != code:  # keep only effective ops
+                    ops.append(op)
+                    code = mutated
+        test_driver = (instance.driver or "").startswith("Test")
+        choices = [INLINE, INLINE, NESTED]
+        # spawning multiplies interleavings; cap concurrently-spawned
+        # motifs so the schedule space stays within campaign budgets
+        if spawns < 2:
+            choices.append(SPAWN)
+        placement = rng.choice(choices)
+        if test_driver and placement == NESTED:
+            placement = INLINE  # the wrapper would need its own *testing.T
+        if placement == SPAWN:
+            spawns += 1
+        specs.append(
+            MotifSpec(
+                template=template,
+                uid=uid,
+                placement=placement,
+                mutations=tuple(ops),
+                dup=rng.random() < 0.15,
+                arg=arg,
+            )
+        )
+    return render(campaign_seed, index, specs)

@@ -1,0 +1,93 @@
+"""Recipe-level delta debugging for interesting generated programs.
+
+Generated programs are motif compositions, so minimization works on the
+*recipe*, not the text: drop whole motifs while the triage stays
+interesting, then strip mutations motif by motif. The result is the
+smallest recipe that still reproduces the finding — the form a checked-in
+regression case takes (see :mod:`repro.corpus.regressions`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.fuzz.campaign import CampaignConfig, ProgramTriage, triage_program
+from repro.fuzz.generator import GeneratedProgram, realize
+
+Interesting = Callable[[ProgramTriage], bool]
+
+
+def _same_finding(reference: ProgramTriage) -> Interesting:
+    """A candidate reproduces iff bucket and classification both match."""
+
+    def predicate(triage: ProgramTriage) -> bool:
+        return (
+            triage.bucket == reference.bucket
+            and triage.classification == reference.classification
+        )
+
+    return predicate
+
+
+def minimize_program(
+    program: GeneratedProgram,
+    reference: ProgramTriage,
+    config: CampaignConfig = CampaignConfig(),
+    interesting: Optional[Interesting] = None,
+    max_attempts: int = 64,
+) -> GeneratedProgram:
+    """Shrink ``program`` while it still reproduces ``reference``'s finding.
+
+    Greedy ddmin-lite over the recipe: repeatedly try dropping one motif
+    (keeping at least one), then try clearing one mutation at a time.
+    Every candidate is re-triaged through the same pipeline, so the
+    result is verified-minimal, not guessed-minimal. ``max_attempts``
+    bounds pipeline re-runs for pathological recipes.
+    """
+    predicate = interesting or _same_finding(reference)
+    current = program
+    attempts = 0
+    shrunk = True
+    while shrunk and attempts < max_attempts:
+        shrunk = False
+        # pass 1: drop a whole motif
+        if len(current.motifs) > 1:
+            for i in range(len(current.motifs)):
+                candidate = realize(
+                    current.campaign_seed,
+                    current.index,
+                    current.motifs[:i] + current.motifs[i + 1 :],
+                )
+                attempts += 1
+                if predicate(triage_program(candidate, config=config)):
+                    current = candidate
+                    shrunk = True
+                    break
+                if attempts >= max_attempts:
+                    return current
+        if shrunk:
+            continue
+        # pass 2: strip one mutation from one motif
+        for i, spec in enumerate(current.motifs):
+            if not spec.mutations:
+                continue
+            for j in range(len(spec.mutations)):
+                stripped = replace(
+                    spec, mutations=spec.mutations[:j] + spec.mutations[j + 1 :]
+                )
+                candidate = realize(
+                    current.campaign_seed,
+                    current.index,
+                    current.motifs[:i] + (stripped,) + current.motifs[i + 1 :],
+                )
+                attempts += 1
+                if predicate(triage_program(candidate, config=config)):
+                    current = candidate
+                    shrunk = True
+                    break
+                if attempts >= max_attempts:
+                    return current
+            if shrunk:
+                break
+    return current

@@ -14,8 +14,11 @@ from repro.report.table import render_simple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.diffcheck import DifferentialReport
+    from repro.fuzz.campaign import CampaignReport
 
 HEADERS = ["Case", "Static", "Dynamic", "Runs", "Outcomes", "Class", "Explanation"]
+
+CAMPAIGN_HEADERS = ["Program", "Motifs", "Static", "Dynamic", "Runs", "Bucket", "Explanation"]
 
 
 def render_differential(report: "DifferentialReport") -> str:
@@ -46,3 +49,58 @@ def render_differential(report: "DifferentialReport") -> str:
         f"unexplained disagreements: {len(report.unexplained())}",
     ]
     return "\n".join(lines)
+
+
+def render_campaign(report: "CampaignReport") -> str:
+    """The fuzz-campaign triage table + bucket summary.
+
+    Clean programs (agree bucket) are summarized, not listed — a 10k
+    campaign's interesting rows are the disagreements and crashes.
+    """
+    interesting = [t for t in report.triages if t.bucket != "agree"]
+    rows = [
+        [
+            t.name,
+            ",".join(t.templates) or "-",
+            f"{t.static_reports}" if t.classification else "?",
+            t.dynamic or "?",
+            f"{t.runs}{'' if t.complete else '+'}" if t.classification else "-",
+            t.bucket,
+            t.explanation or t.error or ("-" if t.explained else "UNEXPLAINED"),
+        ]
+        for t in interesting
+    ]
+    config = report.config
+    parts = []
+    if rows:
+        parts.append(
+            render_simple(
+                CAMPAIGN_HEADERS,
+                rows,
+                title=(
+                    f"Fuzz campaign seed={report.seed} count={report.count} "
+                    f"(bound: {config.max_runs} runs x {config.max_steps} steps, "
+                    f"{config.max_total_steps} total; Runs '+' = truncated)"
+                ),
+            )
+        )
+        parts.append("")
+    buckets = report.buckets()
+    summary = ", ".join(f"{name}: {n}" for name, n in buckets.items() if n)
+    parts.append(
+        f"{len(report.triages)} program(s) in {report.elapsed_seconds:.1f}s — {summary}"
+    )
+    parts.append(
+        f"agreement rate: {report.agreement_rate:.0%}; "
+        f"unexplained: {len(report.unexplained())}; "
+        f"crashes: {len(report.crashes())}"
+    )
+    unexplained = report.unexplained()
+    if unexplained:
+        parts.append("")
+        parts.append("replay an unexplained finding with: "
+                     "repro fuzz --seed SEED --only INDEX --dump-dir DIR")
+        for t in unexplained:
+            parts.append(f"  {t.name}: index {t.index} "
+                         f"[{','.join(t.templates)}] {t.classification}")
+    return "\n".join(parts)

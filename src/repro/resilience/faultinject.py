@@ -15,6 +15,7 @@ cache-write :meth:`repro.engine.cache.ResultCache._store`
 fix-apply  per GFix strategy attempt
 validate   :func:`repro.fixer.validate.validate_patch`
 service-request  per analysis-daemon request (:mod:`repro.service`)
+fuzz-program  per generated program in a fuzz campaign (:mod:`repro.fuzz`)
 ========== ==========================================================
 
 A :class:`FaultPlan` is a list of rules parsed from a compact spec
@@ -57,6 +58,7 @@ FAULT_SITES: Tuple[str, ...] = (
     "fix-apply",
     "validate",
     "service-request",
+    "fuzz-program",
 )
 
 _MODES = ("raise", "raise-transient", "corrupt", "stall")

@@ -438,6 +438,7 @@ class Exploration:
     pruned_runs: int = 0
     step_limited_runs: int = 0
     backtracks: int = 0  # alternative prefixes scheduled for exploration
+    total_steps: int = 0  # interpreter steps summed across every run
     complete: bool = True  # False whenever any bound truncated the search
     outcomes: List[ExecutionResult] = field(default_factory=list)
     _signatures: Dict[tuple, ExecutionResult] = field(default_factory=dict)
@@ -496,6 +497,7 @@ class Exploration:
             "pruned_runs": self.pruned_runs,
             "step_limited_runs": self.step_limited_runs,
             "backtracks": self.backtracks,
+            "total_steps": self.total_steps,
             "complete": self.complete,
             "any_leak": self.any_leak,
             "outcomes": [
@@ -530,6 +532,7 @@ def explore(
     max_branch: int = 96,
     preemption_bound: Optional[int] = None,
     max_steps: int = 20_000,
+    max_total_steps: Optional[int] = None,
     prune: bool = True,
     args: Optional[List[Any]] = None,
     collector=None,
@@ -541,6 +544,12 @@ def explore(
     ``collector`` (a :class:`repro.obs.Collector`) receives an ``explore``
     span plus run/backtrack/prune counters, aggregated across every
     program execution the search performs.
+
+    ``max_total_steps`` bounds the *cumulative* interpreter steps across
+    all runs — a deterministic analogue of a wall-clock budget, used by
+    fuzz campaigns where one pathological generated program must not eat
+    the whole campaign. Unlike a wall-clock cut-off it truncates at the
+    same run on every re-execution, so triage stays replayable.
     """
     from repro.obs import NULL
 
@@ -552,6 +561,11 @@ def explore(
         while stack:
             if exploration.runs >= max_runs:
                 exploration.complete = False
+                break
+            if max_total_steps is not None and exploration.total_steps >= max_total_steps:
+                exploration.complete = False
+                if obs:
+                    obs.count("explore.step-budget-exhausted")
                 break
             item = stack.pop()
             policy = _DirectedPolicy(item.prefix, item.sleep, bounds)
@@ -574,6 +588,7 @@ def explore(
             if obs:
                 obs.count("explore.runs")
             if result is not None:
+                exploration.total_steps += result.steps
                 exploration.record(result)
                 if result.hit_step_limit:
                     exploration.step_limited_runs += 1

@@ -1,0 +1,225 @@
+"""Fuzz campaigns: determinism, triage buckets, crash isolation, CLI.
+
+The campaign's core contract is the one the issue states as acceptance:
+the triage is a *pure function of the seed* — identical across reruns
+and across engine parallelism — and a crash in any generated program is
+an isolated bucket, never a dead campaign.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import (
+    BUCKET_AGREE,
+    BUCKET_EXPLAINED,
+    BUCKET_INCIDENT,
+    BUCKET_PARSE_CRASH,
+    BUCKET_UNEXPLAINED,
+    BUCKETS,
+    generate_program,
+    minimize_program,
+    run_campaign,
+    triage_program,
+)
+from repro.fuzz.campaign import CampaignConfig
+from repro.obs import Collector, snapshot
+from repro.resilience.faultinject import injected
+
+SMOKE_COUNT = 25
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One seed-0 campaign shared by the read-only assertions."""
+    return run_campaign(0, SMOKE_COUNT)
+
+
+class TestDeterminism:
+    def test_rerun_is_identical(self, smoke_report):
+        again = run_campaign(0, SMOKE_COUNT)
+        assert [t.to_dict() for t in again.triages] == [
+            t.to_dict() for t in smoke_report.triages
+        ]
+
+    def test_jobs_do_not_change_triage(self, smoke_report):
+        sharded = run_campaign(0, SMOKE_COUNT, config=CampaignConfig(jobs=4))
+        assert [t.to_dict() for t in sharded.triages] == [
+            t.to_dict() for t in smoke_report.triages
+        ]
+
+    def test_seed_changes_triage(self, smoke_report):
+        other = run_campaign(1, SMOKE_COUNT)
+        assert [t.name for t in other.triages] != [
+            t.name for t in smoke_report.triages
+        ]
+
+
+class TestBuckets:
+    def test_every_triage_lands_in_a_bucket(self, smoke_report):
+        for triage in smoke_report.triages:
+            assert triage.bucket in BUCKETS
+
+    def test_seed_zero_smoke_is_crash_free(self, smoke_report):
+        buckets = smoke_report.buckets()
+        assert buckets[BUCKET_PARSE_CRASH] == 0
+        assert buckets[BUCKET_INCIDENT] == 0
+        assert buckets[BUCKET_UNEXPLAINED] == 0
+        assert not smoke_report.crashes()
+
+    def test_population_exercises_agreement_and_explained(self, smoke_report):
+        buckets = smoke_report.buckets()
+        assert buckets[BUCKET_AGREE] > 0
+        assert buckets[BUCKET_EXPLAINED] > 0
+
+    def test_explained_rows_carry_a_cause(self, smoke_report):
+        for triage in smoke_report.by_bucket(BUCKET_EXPLAINED):
+            assert triage.explanation  # never silently explained
+
+    def test_agreement_rate_counts_classified_programs(self, smoke_report):
+        assert 0.0 < smoke_report.agreement_rate <= 1.0
+
+    def test_json_report_shape(self, smoke_report):
+        payload = smoke_report.to_json()
+        assert payload["kind"] == "fuzz-campaign"
+        assert payload["seed"] == 0
+        assert payload["count"] == SMOKE_COUNT
+        assert set(payload["buckets"]) == set(BUCKETS)
+        assert payload["unexplained"] == []
+        assert payload["crashes"] == []
+        assert len(payload["triages"]) == SMOKE_COUNT
+        json.dumps(payload)  # must be serializable as-is
+
+    def test_render_summarizes_buckets(self, smoke_report):
+        text = smoke_report.render()
+        assert f"{SMOKE_COUNT} program(s)" in text
+        assert "agreement rate:" in text
+        assert "unexplained: 0" in text
+
+
+class TestKnownFindings:
+    """The two detector-gap shapes the hunt surfaced (see
+    repro.corpus.regressions for their checked-in minimal forms)."""
+
+    def test_buffered_pump_is_a_dynamic_only_finding(self):
+        triage = triage_program(generate_program(3, 153))
+        assert triage.bucket == BUCKET_UNEXPLAINED
+        assert triage.classification == "dynamic-only"
+        assert "bmocc_s3_pump" in triage.templates
+        assert "M0:buffer-grow" in triage.mutations
+
+    def test_dropped_close_is_a_static_only_finding(self):
+        triage = triage_program(generate_program(8, 137))
+        assert triage.bucket == BUCKET_UNEXPLAINED
+        assert triage.classification == "static-only"
+        assert triage.templates == ("bmocc_s1_race",)
+        assert triage.mutations == ("M0:drop-close",)
+        assert triage.explanation == "exhaustive search found no leak"
+
+
+class TestCrashIsolation:
+    def test_injected_crash_becomes_one_bucket_not_a_dead_campaign(self):
+        with injected("fuzz-program@fuzz-s0-p3:raise"):
+            report = run_campaign(0, 6)
+        assert [t.bucket for t in report.triages].count(BUCKET_PARSE_CRASH) == 1
+        assert report.triages[3].bucket == BUCKET_PARSE_CRASH
+        assert "injected fault" in report.triages[3].error
+        assert report.triages[3].incidents
+        # the other five programs triage exactly as without the fault
+        clean = run_campaign(0, 6)
+        for i in (0, 1, 2, 4, 5):
+            assert report.triages[i].to_dict() == clean.triages[i].to_dict()
+
+    def test_degraded_static_verdict_is_an_incident_not_a_claim(self):
+        # detection survives a solver crash behind its own firewall, but
+        # a degraded static verdict must not anchor a differential claim
+        with injected("solve:raise"):
+            triage = triage_program(generate_program(0, 0))
+        assert triage.bucket == BUCKET_INCIDENT
+        assert triage.incidents
+        assert not triage.classification
+
+    def test_campaign_counts_buckets_in_trace(self):
+        collector = Collector("fuzz-test")
+        report = run_campaign(0, 4, collector=collector)
+        counters = snapshot(collector)["counters"]
+        assert counters["fuzz.programs"] == 4
+        assert report.trace is collector
+
+
+class TestMinimizer:
+    def test_shrinks_to_the_single_culprit_motif(self):
+        program = generate_program(3, 153)  # 4 motifs, 2 mutations
+        reference = triage_program(program)
+        minimal = minimize_program(program, reference)
+        assert len(minimal.motifs) == 1
+        assert minimal.motifs[0].template == "bmocc_s3_pump"
+        assert minimal.motifs[0].mutations == ("buffer-grow",)
+        # the minimal recipe still reproduces the finding
+        again = triage_program(minimal)
+        assert again.bucket == reference.bucket
+        assert again.classification == reference.classification
+
+    def test_already_minimal_recipe_is_a_fixpoint(self):
+        program = generate_program(8, 137)  # 1 motif, 1 mutation
+        reference = triage_program(program)
+        minimal = minimize_program(program, reference)
+        assert minimal.motifs == program.motifs
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--count", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement rate:" in out
+
+    def test_json_campaign_report(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--count", "5", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["kind"] == "fuzz-campaign"
+        assert len(payload["triages"]) == 5
+        assert "stats" in payload  # --json runs under a collector
+
+    def test_unexplained_finding_exits_one(self, capsys):
+        code = main(["fuzz", "--seed", "8", "--only", "137", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["bucket"] == BUCKET_UNEXPLAINED
+
+    def test_only_replays_one_program(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--only", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "package main" in out  # the replayed source is printed
+
+    def test_dump_dir_writes_provenance_header(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seed", "8", "--only", "137",
+            "--dump-dir", str(tmp_path),
+        ])
+        assert code == 1
+        dumped = tmp_path / "fuzz-s8-p137.go"
+        text = dumped.read_text()
+        assert text.startswith("// fuzz-s8-p137: generated by `repro fuzz --seed 8 --only 137`")
+        assert "// recipe: bmocc_s1_race[M0 inline drop-close]" in text
+        assert "package main" in text
+
+    def test_minimize_flag_dumps_the_shrunk_recipe(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seed", "3", "--only", "153", "--minimize",
+            "--dump-dir", str(tmp_path),
+        ])
+        assert code == 1
+        text = (tmp_path / "fuzz-s3-p153.go").read_text()
+        assert "// recipe: bmocc_s3_pump[M0 spawn buffer-grow]" in text
+
+    def test_campaign_crash_exits_with_incident_code(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "fuzz-program@fuzz-s0-p1:raise")
+        code = main(["fuzz", "--seed", "0", "--count", "3"])
+        capsys.readouterr()
+        assert code == 4  # EXIT_INCIDENT: crashes trump findings

@@ -1,0 +1,150 @@
+"""The generative MiniGo synthesizer: determinism, purity, mutations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.templates import ALL_TEMPLATES
+from repro.fuzz.generator import (
+    INLINE,
+    MUTATIONS,
+    NESTED,
+    SPAWN,
+    MotifSpec,
+    apply_mutation,
+    generate_program,
+    realize,
+    render,
+)
+from repro.golang.parser import parse_file
+from repro.ssa.builder import build_program
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        for index in (0, 3, 17, 99):
+            a = generate_program(5, index)
+            b = generate_program(5, index)
+            assert a == b
+            assert a.source == b.source
+
+    def test_distinct_indices_distinct_programs(self):
+        sources = {generate_program(0, i).source for i in range(40)}
+        assert len(sources) > 30  # collisions allowed but must be rare
+
+    def test_seed_changes_the_population(self):
+        a = [generate_program(0, i).source for i in range(20)]
+        b = [generate_program(1, i).source for i in range(20)]
+        assert a != b
+
+    def test_independent_of_global_random_state(self):
+        random.seed(1234)
+        a = generate_program(7, 7)
+        random.seed(9999)
+        b = generate_program(7, 7)
+        assert a == b
+
+
+class TestRenderPurity:
+    def test_realize_reproduces_generate(self):
+        program = generate_program(2, 11)
+        again = realize(program.campaign_seed, program.index, program.motifs)
+        assert again.source == program.source
+        assert again.entry == program.entry
+
+    def test_subset_recipes_render_and_parse(self):
+        program = generate_program(3, 153)  # a 4-motif recipe from the hunt
+        assert len(program.motifs) > 1
+        for i in range(len(program.motifs)):
+            subset = program.motifs[:i] + program.motifs[i + 1 :]
+            candidate = realize(program.campaign_seed, program.index, subset)
+            parse_file(candidate.source, candidate.name + ".go")
+
+    def test_uids_stay_stable_across_shrinking(self):
+        program = generate_program(3, 153)
+        subset = realize(program.campaign_seed, program.index, program.motifs[1:])
+        assert [s.uid for s in subset.motifs] == [s.uid for s in program.motifs[1:]]
+
+
+class TestMutations:
+    def test_buffer_grow(self):
+        code = "ch := make(chan int)\n"
+        assert apply_mutation(code, "buffer-grow", 2) == "ch := make(chan int, 2)\n"
+
+    def test_buffer_grow_struct_channel(self):
+        code = "q := make(chan struct{})\n"
+        assert apply_mutation(code, "buffer-grow", 1) == "q := make(chan struct{}, 1)\n"
+
+    def test_buffer_grow_skips_buffered(self):
+        code = "ch := make(chan int, 3)\n"
+        assert apply_mutation(code, "buffer-grow", 2) == code
+
+    def test_buffer_shrink(self):
+        code = "ch := make(chan int, 3)\n"
+        assert apply_mutation(code, "buffer-shrink", 1) == "ch := make(chan int)\n"
+
+    def test_loop_bound(self):
+        code = "\tfor i := 0; i < 8; i++ {\n"
+        assert "< 3" in apply_mutation(code, "loop-bound", 2)
+
+    def test_drop_close(self):
+        code = "\tdoWork()\n\tclose(ch)\n\tmore()\n"
+        assert apply_mutation(code, "drop-close", 1) == "\tdoWork()\n\tmore()\n"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            apply_mutation("x", "no-such-op", 1)
+
+    def test_every_op_keeps_templates_parseable(self):
+        for name, factory in ALL_TEMPLATES.items():
+            for op in MUTATIONS:
+                mutated = apply_mutation(factory("T0").code, op, 2)
+                parse_file("package main\n" + mutated, f"{name}-{op}.go")
+
+
+class TestHarness:
+    def test_every_generated_program_builds(self):
+        for index in range(50):
+            program = generate_program(0, index)
+            build_program(program.source, program.name + ".go")
+
+    def test_test_driver_gets_testing_t(self):
+        spec = MotifSpec(template="fatal_real", uid="M0", placement=INLINE)
+        program = render(0, 0, [spec])
+        assert "func fuzzEntry(t *testing.T)" in program.source
+        assert "TestProbeM0(t)" in program.source
+
+    def test_plain_driver_entry_has_no_params(self):
+        spec = MotifSpec(template="benign_rendezvous", uid="M0", placement=INLINE)
+        program = render(0, 0, [spec])
+        assert "func fuzzEntry()" in program.source
+
+    def test_spawn_placement_joins(self):
+        spec = MotifSpec(template="benign_rendezvous", uid="M0", placement=SPAWN)
+        program = render(0, 0, [spec])
+        assert "fzDoneM0 := make(chan int, 1)" in program.source
+        assert "<-fzDoneM0" in program.source
+
+    def test_nested_placement_wraps_in_conditional(self):
+        spec = MotifSpec(template="benign_rendezvous", uid="M0", placement=NESTED)
+        program = render(0, 0, [spec])
+        assert "func fzNestM0(on bool)" in program.source
+
+    def test_int_params_synthesized(self):
+        # benign_compute's driver takes (v int, k int)
+        spec = MotifSpec(template="benign_compute", uid="M0", placement=INLINE)
+        program = render(0, 0, [spec])
+        assert "scaleM0(0, 0)" in program.source
+
+    def test_population_mixes_all_placements_and_mutations(self):
+        placements = set()
+        ops = set()
+        for index in range(300):
+            program = generate_program(0, index)
+            for spec in program.motifs:
+                placements.add(spec.placement)
+                ops.update(spec.mutations)
+        assert placements == {INLINE, SPAWN, NESTED}
+        assert ops == set(MUTATIONS)

@@ -1,0 +1,66 @@
+"""The checked-in fuzz findings (repro.corpus.regressions).
+
+Two layers per regression:
+
+* a *lock* — today's triage must reproduce the recorded classification
+  byte-for-byte from both the minimized recipe and the original
+  ``(campaign_seed, index)`` provenance, so the detector gap cannot
+  drift silently;
+* a strict ``xfail`` on the *desired* behaviour (the oracles agreeing).
+  Fixing the underlying BMOC gap flips the xfail to XPASS, fails the
+  run, and forces the fixed case to be retired from the corpus — the
+  regress half of the seed→minimize→regress workflow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.regressions import FUZZ_REGRESSIONS, REGRESSIONS_BY_NAME
+from repro.fuzz import BUCKET_UNEXPLAINED, generate_program, triage_program
+from repro.golang.parser import parse_file
+
+CASES = sorted(REGRESSIONS_BY_NAME)
+
+
+def test_corpus_is_nonempty_and_uniquely_named():
+    assert FUZZ_REGRESSIONS
+    assert len(REGRESSIONS_BY_NAME) == len(FUZZ_REGRESSIONS)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_minimized_recipe_renders_and_parses(name):
+    case = REGRESSIONS_BY_NAME[name]
+    program = case.program()
+    parse_file(program.source, program.name + ".go")
+    assert len(program.motifs) == 1  # checked-in recipes are minimal
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_lock_current_detector_gap(name):
+    """Today's (wrong) triage, pinned: still unexplained, same class."""
+    case = REGRESSIONS_BY_NAME[name]
+    triage = case.triage()
+    assert triage.bucket == BUCKET_UNEXPLAINED
+    assert triage.classification == case.classification
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_original_seed_still_reproduces(name):
+    """The unminimized ``(campaign_seed, index)`` provenance replays to
+    the same finding class — the seed recorded with the case is real."""
+    case = REGRESSIONS_BY_NAME[name]
+    triage = triage_program(generate_program(case.campaign_seed, case.index))
+    assert triage.bucket == BUCKET_UNEXPLAINED
+    assert triage.classification == case.classification
+
+
+@pytest.mark.parametrize("name", CASES)
+@pytest.mark.xfail(
+    strict=True,
+    reason="open detector gap — fixing BMOC flips this to XPASS, "
+    "which retires the case from repro.corpus.regressions",
+)
+def test_desired_oracle_agreement(name):
+    case = REGRESSIONS_BY_NAME[name]
+    assert case.triage().bucket != BUCKET_UNEXPLAINED
