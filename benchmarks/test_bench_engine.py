@@ -14,6 +14,7 @@ report table.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -30,6 +31,8 @@ CHANNEL_FACTORIES = [
     for group in templates.REAL_BMOCC_BY_STRATEGY.values()
     for factory in group
 ] + list(templates.BENIGN_TEMPLATES)
+
+ARTIFACT = os.path.join(os.path.dirname(__file__), "..", "BENCH_detect.json")
 
 
 def build_wide_program():
@@ -94,6 +97,27 @@ def test_engine_speedup_and_warm_cache(benchmark):
         f"warm-cache solver skip rate {skip_rate:.0%})",
         render_simple(["configuration", "seconds", "speedup vs serial"], table),
     )
+
+    # the detect-side perf trajectory artifact: cold vs warm latency and
+    # the warm-cache solver skip rate, one number each per configuration
+    artifact = {
+        "bench": "detect",
+        "cpus": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "jobs_seconds": {
+            label.split("=", 1)[1]: round(seconds, 3)
+            for label, (seconds, _) in rows.items()
+            if label.startswith("jobs=")
+        },
+        "cache_cold_seconds": round(cold_seconds, 3),
+        "cache_warm_seconds": round(warm_seconds, 3),
+        "solver_skip_rate": round(skip_rate, 4),
+        "solver_calls_cold": cold_calls,
+        "solver_calls_warm": warm_calls,
+    }
+    with open(ARTIFACT, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
     # the >= 2x claim needs real cores behind the pool
     if (os.cpu_count() or 1) >= 4:

@@ -82,7 +82,8 @@ def _health_exit(health: str, incidents, strict: bool) -> Optional[int]:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    collector = Collector(args.file) if args.trace else None
+    want_obs = args.trace or args.trace_out
+    collector = Collector(args.file) if want_obs else None
     cache = None
     if args.cache_dir:
         from repro.engine import ResultCache
@@ -109,15 +110,20 @@ def cmd_detect(args: argparse.Namespace) -> int:
     incident_exit = _health_exit(health, result.incidents, args.strict)
     if incident_exit is not None:
         exit_code = incident_exit
+    if args.trace_out and collector is not None:
+        from repro.obs import write_trace
+
+        write_trace(collector, args.trace_out)
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
     if not reports:
         print("no bugs detected")
         if timed_out:
             print(_timeout_summary(result))
-        if result.incidents or collector is not None:
+        if result.incidents or args.trace:
             from repro.report.table import render_health
 
             print(render_health(health, result.incidents))
-        if collector is not None:
+        if args.trace and collector is not None:
             print()
             print(render_stats(collector))
         return exit_code
@@ -129,11 +135,11 @@ def cmd_detect(args: argparse.Namespace) -> int:
           f"({result.elapsed_seconds:.2f}s)")
     if timed_out:
         print(_timeout_summary(result))
-    if result.incidents or collector is not None:
+    if result.incidents or args.trace:
         from repro.report.table import render_health
 
         print(render_health(health, result.incidents))
-    if collector is not None:
+    if args.trace and collector is not None:
         from repro.report.table import render_bug_costs
 
         print()
@@ -370,6 +376,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
     exit_code = _health_exit(health, incidents, args.strict)
     if exit_code is None:
         exit_code = 0
+    if args.trace_out:
+        from repro.obs import write_trace
+
+        write_trace(collector, args.trace_out)
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    if args.prom:
+        from repro.obs import render_prometheus
+
+        # Prometheus text exposition on stdout: the same payload the
+        # daemon's metrics_text method serves, for file-based scraping
+        sys.stdout.write(render_prometheus(collector))
+        return exit_code
     if args.json:
         from repro.obs import snapshot
         from repro.resilience import incidents_to_json
@@ -384,7 +402,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         }
         if incidents:
             # optional block: absent on clean runs, so pre-resilience
-            # consumers of the repro.obs/1 schema see an unchanged shape
+            # consumers of the repro.obs schema see an unchanged shape
             extra["incidents"] = incidents_to_json(incidents)
         print(json_dumps(snapshot(collector, extra=extra)))
         return exit_code
@@ -418,12 +436,27 @@ def _service_kwargs(args: argparse.Namespace) -> dict:
     )
 
 
+def _journal_path(args: argparse.Namespace) -> Optional[str]:
+    """The telemetry journal path: --journal flag, else REPRO_JOURNAL."""
+    import os
+
+    path = getattr(args, "journal", None)
+    return path if path else os.environ.get("REPRO_JOURNAL") or None
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the analysis daemon over stdio (default) or a TCP socket."""
     from repro.service import AnalysisService, serve_stdio, serve_tcp
 
     try:
-        service = AnalysisService(args.path, **_service_kwargs(args)).start()
+        service = AnalysisService(
+            args.path,
+            journal_path=_journal_path(args),
+            journal_max_bytes=args.journal_max_bytes,
+            journal_max_files=args.journal_max_files,
+            slow_threshold_seconds=args.slow_threshold,
+            **_service_kwargs(args),
+        ).start()
     except (OSError, UnicodeDecodeError) as exc:
         print(f"cannot load project {args.path}: {exc}", file=sys.stderr)
         return 2
@@ -479,6 +512,16 @@ def cmd_client(args: argparse.Namespace) -> int:
     except ServiceConnectionError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    result_payload = response.get("result")
+    if (
+        args.method == "metrics_text"
+        and isinstance(result_payload, dict)
+        and isinstance(result_payload.get("text"), str)
+    ):
+        # scraper convenience: the raw exposition, ready for a Prometheus
+        # file-sd or pushgateway pipe, instead of JSON-wrapped text
+        sys.stdout.write(result_payload["text"])
+        return 0
     print(json_dumps(response))
     if "error" in response:
         # a crashed request carries an incident: the daemon-side analogue
@@ -487,6 +530,36 @@ def cmd_client(args: argparse.Namespace) -> int:
     result = response.get("result") or {}
     code = result.get("code", 0)
     return int(code) if isinstance(code, (int, float)) else 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Render throughput/latency/cache/incident aggregates from the
+    daemon's telemetry journal (works on a stopped daemon's journal too)."""
+    import os
+
+    from repro.obs import TelemetryJournal, render_top, summarize
+
+    path = _journal_path(args)
+    if not path:
+        print("repro top: no journal (pass --journal PATH or set "
+              "REPRO_JOURNAL)", file=sys.stderr)
+        return 2
+    if not any(
+        os.path.exists(p)
+        for p in (path, *(f"{path}.{i}" for i in range(1, args.journal_max_files)))
+    ):
+        print(f"repro top: journal {path} does not exist", file=sys.stderr)
+        return 2
+    journal = TelemetryJournal(path, max_files=args.journal_max_files)
+    records = journal.read(last=args.last)
+    if args.json:
+        summary = summarize(records)
+        summary["latency"] = summary["latency"].to_dict()
+        summary["queue_wait"] = summary["queue_wait"].to_dict()
+        print(json_dumps(summary))
+        return 0
+    print(render_top(records, title=f"repro top — {path}"))
+    return 0
 
 
 def cmd_nonblocking(args: argparse.Namespace) -> int:
@@ -577,6 +650,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkers", nargs="*", default=None,
                    help="restrict the traditional checkers to this subset "
                         "(default: REPRO_CHECKERS, else all)")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="dump the run's span tree as OTLP-style JSON")
     _add_resilience_args(p)
     p.set_defaults(func=cmd_detect)
 
@@ -656,6 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=20_000)
     p.add_argument("--json", action="store_true",
                    help="emit the trace as repro.obs-schema JSON")
+    p.add_argument("--prom", action="store_true",
+                   help="emit Prometheus text exposition instead of the table")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="dump the run's span tree as OTLP-style JSON")
     _add_resilience_args(p)
     p.set_defaults(func=cmd_stats)
 
@@ -689,6 +768,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = ephemeral; the bound port is printed); "
                         "default: stdio")
     p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="append one telemetry record per request to this "
+                        "JSONL file, with size-bounded rotation "
+                        "(default: REPRO_JOURNAL)")
+    p.add_argument("--journal-max-bytes", type=int, default=4_000_000,
+                   help="rotate the journal past this size (default: 4MB)")
+    p.add_argument("--journal-max-files", type=int, default=3,
+                   help="keep at most N journal files (default: 3)")
+    p.add_argument("--slow-threshold", type=float, default=5.0,
+                   help="requests slower than this many seconds capture a "
+                        "full span-tree exemplar (default: 5.0)")
     _add_service_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -701,9 +791,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_args(p)
     p.set_defaults(func=cmd_watch)
 
+    p = sub.add_parser("top", help="render telemetry-journal aggregates")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="the daemon's telemetry journal (default: REPRO_JOURNAL)")
+    p.add_argument("--journal-max-files", type=int, default=3,
+                   help="rotation depth to scan (default: 3)")
+    p.add_argument("--last", type=int, default=None, metavar="N",
+                   help="only the most recent N records")
+    p.add_argument("--json", action="store_true",
+                   help="emit the aggregates as JSON")
+    p.set_defaults(func=cmd_top)
+
     p = sub.add_parser("client", help="send one request to a running daemon")
-    p.add_argument("method", help="detect | fix | stats | metrics | health | "
-                                  "refresh | ping | shutdown")
+    p.add_argument("method", help="detect | fix | stats | metrics | "
+                                  "metrics_text | health | refresh | ping | "
+                                  "shutdown")
     p.add_argument("--port", type=int, required=True)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--params", default=None, metavar="JSON",

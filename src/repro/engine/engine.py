@@ -60,7 +60,7 @@ from repro.engine.fingerprint import (
     channel_fingerprint,
     traditional_fingerprint,
 )
-from repro.obs import NULL, STAGE_ENGINE_SHARD, Collector, Span
+from repro.obs import NULL, STAGE_ENGINE_SHARD, Collector, Dist, Span
 from repro.resilience.firewall import BrokenProcessPool, Firewall, RetryPolicy
 from repro.resilience.incidents import Incident, make_incident
 from repro.ssa import ir
@@ -116,6 +116,11 @@ class _ShardOutcome:
     seconds: float
     timed_out: bool
     counters: Dict[str, int] = field(default_factory=dict)
+    #: span trees serialized as dicts when the outcome crossed a process
+    #: boundary (forked worker); lineage is rebuilt on adoption
+    spans: List[dict] = field(default_factory=list)
+    #: distributions serialized as dicts for the same reason
+    dists: Dict[str, dict] = field(default_factory=dict)
     collector: Optional[Collector] = None
     failed: bool = False
     incident: Optional[Incident] = None
@@ -131,10 +136,15 @@ def _run_shard_in_worker(index: int):
     # poisoning the pool
     outcome = _FORKED_ENGINE._execute_guarded(index)
     # Collector objects hold locks and cannot cross the process boundary;
-    # ship the counters and drop the span tree (the parent records one
-    # engine-shard span from the measured seconds instead)
+    # ship the counters, the distributions, and the span trees *as dicts*
+    # so the parent can rebuild the exact serial span shape with lineage
     if outcome.collector is not None:
         outcome.counters = dict(outcome.collector.counters)
+        outcome.spans = [s.to_dict() for s in outcome.collector.spans]
+        outcome.dists = {
+            name: dist.to_dict()
+            for name, dist in outcome.collector.dists.items()
+        }
         outcome.collector = None
     return outcome
 
@@ -185,7 +195,7 @@ class DetectionEngine:
         child = Collector(f"shard:{info.label}") if self.collector else None
         start = time.perf_counter()
         stats = DetectionStats()
-        with (child or NULL).span(STAGE_ENGINE_SHARD):
+        with (child or NULL).span(STAGE_ENGINE_SHARD, shard=info.label, kind=info.kind):
             if info.kind == "bmoc":
                 detector = self.detector.for_shard(child or NULL)
                 channel = self._channels[index]
@@ -293,6 +303,9 @@ class DetectionEngine:
         start = time.perf_counter()
         corrupt_before = cfg.cache.corrupt if cfg.cache is not None else 0
         evicted_before = cfg.cache.evicted if cfg.cache is not None else 0
+        bmoc_reports: List[BugReport] = []
+        traditional: List[BugReport] = []
+        agg = DetectionStats()
         with obs.span("gcatch"):
             prepared = self.firewall.call(
                 self._prepare, site="detect-init", label=self.program.filename or ""
@@ -303,31 +316,31 @@ class DetectionEngine:
                 return self._aborted_result(start)
             cached, pending = self._probe_cache()
             executed = self._execute(pending)
-        outcomes: Dict[int, _ShardOutcome] = {}
-        outcomes.update(cached)
-        outcomes.update(executed)
+            outcomes: Dict[int, _ShardOutcome] = {}
+            outcomes.update(cached)
+            outcomes.update(executed)
 
-        bmoc_reports: List[BugReport] = []
-        traditional: List[BugReport] = []
-        agg = DetectionStats()
-        for index, info in enumerate(self._shards):
-            outcome = outcomes[index]
-            info.seconds = outcome.seconds
-            info.reports = len(outcome.reports)
-            if outcome.failed:
-                info.outcome = "failed"
-                if outcome.incident is not None:
-                    self.firewall.record(outcome.incident)
-                continue
-            if outcome.timed_out:
-                info.outcome = "timeout"
-            agg.merge(outcome.stats)
-            if info.kind == "bmoc":
-                bmoc_reports.extend(outcome.reports)
-            else:
-                traditional.extend(outcome.reports)
-            self._record_observability(info, outcome)
-            self._store_cache(info, outcome)
+            # reassembly runs inside the gcatch span so adopted shard span
+            # trees (thread pool and forked workers alike) graft under it:
+            # one rooted tree per detect, identical in shape to serial
+            for index, info in enumerate(self._shards):
+                outcome = outcomes[index]
+                info.seconds = outcome.seconds
+                info.reports = len(outcome.reports)
+                if outcome.failed:
+                    info.outcome = "failed"
+                    if outcome.incident is not None:
+                        self.firewall.record(outcome.incident)
+                    continue
+                if outcome.timed_out:
+                    info.outcome = "timeout"
+                agg.merge(outcome.stats)
+                if info.kind == "bmoc":
+                    bmoc_reports.extend(outcome.reports)
+                else:
+                    traditional.extend(outcome.reports)
+                self._record_observability(info, outcome)
+                self._store_cache(info, outcome)
         agg.elapsed_seconds = time.perf_counter() - start
         result = GCatchResult(
             bmoc=DetectionResult(reports=dedup_reports(bmoc_reports), stats=agg),
@@ -508,6 +521,19 @@ class DetectionEngine:
 
     # -- result assembly ---------------------------------------------------
 
+    def _annotate_shard_spans(self, info: ShardInfo, spans: List[Span]) -> None:
+        """Evidence pointers on the shard's root span: which shard, its
+        scope fingerprint (cache lineage) and how it ended — the fields a
+        slow-request exemplar needs to be replayable after the fact."""
+        for span in spans:
+            if span.name != STAGE_ENGINE_SHARD:
+                continue
+            span.attrs.setdefault("shard", info.label)
+            span.attrs.setdefault("kind", info.kind)
+            span.attrs["outcome"] = info.outcome
+            if info.fingerprint:
+                span.attrs.setdefault("fingerprint", info.fingerprint)
+
     def _record_observability(self, info: ShardInfo, outcome: _ShardOutcome) -> None:
         obs = self.collector
         if not obs:
@@ -518,14 +544,30 @@ class DetectionEngine:
             return
         if self.config.cache is not None:
             obs.count("cache.miss")
+        obs.observe("engine.shard.seconds", outcome.seconds)
         if outcome.collector is not None:
+            # in-process shard (serial or thread pool): merge adopts the
+            # span trees under the open gcatch span with lineage intact
+            self._annotate_shard_spans(info, outcome.collector.spans)
             obs.merge(outcome.collector)
-        elif outcome.counters:
-            # a forked worker: replay its counters, synthesize its span
-            for name, n in outcome.counters.items():
-                obs.count(name, n)
-            span = Span(name=STAGE_ENGINE_SHARD, start=0.0, end=outcome.seconds)
-            obs.spans.append(span)
+            return
+        # a forked worker: replay counters and distributions, rebuild the
+        # shipped span trees (same shape as serial) and adopt them
+        for name, n in outcome.counters.items():
+            obs.count(name, n)
+        for name, payload in outcome.dists.items():
+            shipped = Dist.from_dict(payload)
+            with obs._lock:
+                mine = obs.dists.get(name)
+                if mine is None:
+                    mine = obs.dists[name] = Dist()
+                mine.merge(shipped)
+        if outcome.spans:
+            spans = [Span.from_dict(s) for s in outcome.spans]
+        else:
+            spans = [Span(name=STAGE_ENGINE_SHARD, start=0.0, end=outcome.seconds)]
+        self._annotate_shard_spans(info, spans)
+        obs.adopt_spans(spans)
 
     def _store_cache(self, info: ShardInfo, outcome: _ShardOutcome) -> None:
         cache = self.config.cache

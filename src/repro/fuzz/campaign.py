@@ -320,6 +320,7 @@ def run_campaign(
     with obs.span("fuzz-campaign"):
         for index in range(count):
             program = generate_program(seed, index)
+            program_started = time.perf_counter()
             triage = triage_program(
                 program, config=config, firewall=firewall, collector=collector
             )
@@ -327,6 +328,12 @@ def run_campaign(
             if obs:
                 obs.count("fuzz.programs")
                 obs.count(f"fuzz.bucket.{triage.bucket}")
+                # per-program wall distribution: the campaign's latency
+                # telemetry (p50/p95/p99 in the --json stats block)
+                obs.observe(
+                    "fuzz.program.seconds",
+                    time.perf_counter() - program_started,
+                )
     report.elapsed_seconds = time.perf_counter() - started
     if collector:
         report.trace = collector

@@ -1,0 +1,134 @@
+"""Prometheus text-exposition rendering of a :class:`Collector`.
+
+One function, :func:`render_prometheus`, turns a collector into the
+`text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+a scraper expects:
+
+* counters  → ``repro_<name>_total`` counter series;
+* gauges    → ``repro_<name>`` gauge series;
+* distributions → ``repro_<name>`` histogram series (cumulative
+  ``_bucket{le="..."}`` lines over the fixed bounds, ``_sum``, ``_count``)
+  plus ``repro_<name>_p50`` / ``_p95`` / ``_p99`` gauges computed from the
+  bounded reservoir — the request-latency percentiles the acceptance
+  criteria name;
+* the aggregated span table → ``repro_stage_seconds_total{stage="..."}``
+  and ``repro_stage_entries_total{stage="..."}``.
+
+Served by the daemon's ``metrics_text`` method and by
+``repro stats --prom``; the CI smoke job scrapes and validates it
+line-by-line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.obs.collector import DEFAULT_BUCKET_BOUNDS, Collector, Dist
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: a valid exposition line: comment, or ``name{labels} value``
+LINE_RE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9.eE+-]+(Inf|NaN)?)$"
+)
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """``cache.hit`` → ``repro_cache_hit`` (Prometheus-legal)."""
+    cleaned = _NAME_RE.sub("_", name).strip("_")
+    return f"{prefix}_{cleaned}"
+
+
+def _labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    formatted = f"{value:.9f}".rstrip("0").rstrip(".")
+    return formatted if formatted else "0"
+
+
+def _bound_label(bound: float) -> str:
+    return _fmt(bound)
+
+
+def render_histogram(
+    name: str, dist: Dist, labels: Optional[Dict[str, str]] = None
+) -> List[str]:
+    """The exposition lines for one distribution."""
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    for bound, count in zip(DEFAULT_BUCKET_BOUNDS, dist.buckets):
+        cumulative += count
+        bucket_labels = dict(labels or {})
+        bucket_labels["le"] = _bound_label(bound)
+        lines.append(f"{name}_bucket{_labels(bucket_labels)} {cumulative}")
+    bucket_labels = dict(labels or {})
+    bucket_labels["le"] = "+Inf"
+    lines.append(f"{name}_bucket{_labels(bucket_labels)} {dist.count}")
+    lines.append(f"{name}_sum{_labels(labels)} {_fmt(dist.total)}")
+    lines.append(f"{name}_count{_labels(labels)} {dist.count}")
+    for quantile, value in (("p50", dist.p50), ("p95", dist.p95), ("p99", dist.p99)):
+        if value is None:
+            continue
+        lines.append(f"# TYPE {name}_{quantile} gauge")
+        lines.append(f"{name}_{quantile}{_labels(labels)} {_fmt(value)}")
+    return lines
+
+
+def render_prometheus(
+    collector: Collector,
+    labels: Optional[Dict[str, str]] = None,
+    prefix: str = "repro",
+) -> str:
+    """The full text exposition of one collector, newline-terminated."""
+    lines: List[str] = []
+    totals = collector.stage_totals()
+    if totals:
+        seconds_name = f"{prefix}_stage_seconds_total"
+        entries_name = f"{prefix}_stage_entries_total"
+        lines.append(f"# HELP {seconds_name} Aggregated seconds per pipeline stage")
+        lines.append(f"# TYPE {seconds_name} counter")
+        for stage, (_, seconds) in totals.items():
+            stage_labels = dict(labels or {})
+            stage_labels["stage"] = stage
+            lines.append(f"{seconds_name}{_labels(stage_labels)} {_fmt(seconds)}")
+        lines.append(f"# HELP {entries_name} Aggregated entries per pipeline stage")
+        lines.append(f"# TYPE {entries_name} counter")
+        for stage, (count, _) in totals.items():
+            stage_labels = dict(labels or {})
+            stage_labels["stage"] = stage
+            lines.append(f"{entries_name}{_labels(stage_labels)} {count}")
+    for name, value in sorted(collector.counters.items()):
+        metric = metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{_labels(labels)} {value}")
+    for name, value in sorted(collector.gauges.items()):
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{_labels(labels)} {_fmt(float(value))}")
+    for name, dist in sorted(collector.dists.items()):
+        lines.extend(render_histogram(metric_name(name, prefix), dist, labels))
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Offending lines of an exposition payload (empty = valid); the CI
+    smoke job and the schema tests call this line-by-line check."""
+    bad = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if not LINE_RE.match(line):
+            bad.append(line)
+    return bad

@@ -1,26 +1,39 @@
 """Machine-readable stats emission and human-readable rendering.
 
-One JSON schema (``repro.obs/1``) serves every surface that exports
+One JSON schema (``repro.obs/2``) serves every surface that exports
 numbers: ``repro stats --json``, ``repro explore --json``,
-``repro diffcheck --json`` and the ``benchmarks/`` per-stage recordings
-all emit through :func:`json_dumps`, and a :class:`Collector` snapshot
-round-trips losslessly through :func:`snapshot` / :func:`load`.
+``repro diffcheck --json``, ``repro fuzz --json``, the daemon's ``stats``
+method and the ``benchmarks/`` per-stage recordings all emit through
+:func:`json_dumps`, and a :class:`Collector` snapshot round-trips
+losslessly through :func:`snapshot` / :func:`load`.
 
 Schema (top-level keys of a collector snapshot)::
 
     {
-      "schema":   "repro.obs/1",
+      "schema":   "repro.obs/2",
       "name":     "<run label>",
+      "trace_id": str,                      # optional: the run's trace
       "stages":   [{"name": str, "count": int, "seconds": float}, ...],
       "counters": {str: int, ...},
       "gauges":   {str: float, ...},
       "distributions": {str: {"count": int, "total": float,
-                              "min": float|null, "max": float|null}, ...},
-      "spans":    [<span tree: {"name", "seconds", "children"?}>, ...]
+                              "min": float|null, "max": float|null,
+                              "p50": float|null, "p95": float|null,
+                              "p99": float|null,
+                              "buckets": [int, ...],     # histogram counts
+                              "samples": [float, ...]},  # bounded reservoir
+                        ...},
+      "spans":    [<span tree: {"name", "seconds", "span_id",
+                                "parent_id"?, "trace_id"?, "attrs"?,
+                                "children"?}>, ...]
     }
 
 ``stages`` is the aggregated per-stage table — pipeline stages first, in
 pipeline order, then any extra span names in first-seen order.
+
+Version history: ``repro.obs/1`` (PR 2) had means-only distributions and
+anonymous spans. :func:`load` still accepts ``/1`` payloads — the missing
+histogram/lineage fields load empty, so old snapshots keep rendering.
 """
 
 from __future__ import annotations
@@ -28,9 +41,13 @@ from __future__ import annotations
 import json
 from typing import List, Optional
 
-from repro.obs.collector import PIPELINE_STAGES, Collector, Span
+from repro.obs.collector import PIPELINE_STAGES, Collector, Dist, Span
 
-SCHEMA = "repro.obs/1"
+SCHEMA = "repro.obs/2"
+
+#: the PR-2 era schema: means-only distributions, no span lineage.
+#: Snapshots are always emitted as /2; /1 is accepted on load.
+SCHEMA_V1 = "repro.obs/1"
 
 
 def json_dumps(payload: object) -> str:
@@ -57,6 +74,8 @@ def snapshot(collector: Collector, extra: Optional[dict] = None) -> dict:
         },
         "spans": [span.to_dict() for span in collector.spans],
     }
+    if collector.trace_id:
+        payload["trace_id"] = collector.trace_id
     if extra:
         payload.update(extra)
     return payload
@@ -66,22 +85,29 @@ def load(payload: dict) -> Collector:
     """Rebuild a collector from a snapshot (inverse of :func:`snapshot`).
 
     Timings are preserved exactly: ``snapshot(load(s)) == s`` for any
-    snapshot ``s`` (modulo the keys ``extra`` injected).
+    ``repro.obs/2`` snapshot ``s`` (modulo the keys ``extra`` injected).
+    ``repro.obs/1`` snapshots load too — their distributions come back
+    means-only (empty histogram, percentiles ``None``) and their spans
+    without lineage, which is exactly what was recorded.
     """
-    if payload.get("schema") != SCHEMA:
-        raise ValueError(f"unsupported stats schema: {payload.get('schema')!r}")
-    collector = Collector(name=payload.get("name", "run"))
+    schema = payload.get("schema")
+    if schema not in (SCHEMA, SCHEMA_V1):
+        raise ValueError(f"unsupported stats schema: {schema!r}")
+    collector = Collector(
+        name=payload.get("name", "run"), trace_id=payload.get("trace_id")
+    )
     collector.spans = [Span.from_dict(s) for s in payload.get("spans", ())]
     collector.counters = {k: int(v) for k, v in payload.get("counters", {}).items()}
     collector.gauges = {k: float(v) for k, v in payload.get("gauges", {}).items()}
-    for name, d in payload.get("distributions", {}).items():
-        collector.observe(name, 0)
-        dist = collector.dists[name]
-        dist.count = int(d["count"])
-        dist.total = float(d["total"])
-        dist.min = None if d["min"] is None else float(d["min"])
-        dist.max = None if d["max"] is None else float(d["max"])
+    collector.dists = {
+        name: Dist.from_dict(d)
+        for name, d in payload.get("distributions", {}).items()
+    }
     return collector
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}"
 
 
 def render_stats(collector: Collector, title: str = "pipeline stages") -> str:
@@ -112,9 +138,18 @@ def render_stats(collector: Collector, title: str = "pipeline stages") -> str:
     if collector.dists:
         blocks.append(
             render_simple(
-                ["distribution", "count", "mean", "min", "max"],
+                ["distribution", "count", "mean", "min", "p50", "p95", "p99", "max"],
                 [
-                    [k, str(d.count), f"{d.mean:.2f}", str(d.min), str(d.max)]
+                    [
+                        k,
+                        str(d.count),
+                        f"{d.mean:.2f}",
+                        str(d.min),
+                        _fmt(d.p50),
+                        _fmt(d.p95),
+                        _fmt(d.p99),
+                        str(d.max),
+                    ]
                     for k, d in sorted(collector.dists.items())
                 ],
             )

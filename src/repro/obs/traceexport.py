@@ -1,0 +1,85 @@
+"""OTLP-ish JSON export of a collector's span trees.
+
+:func:`trace_to_otlp` flattens a :class:`~repro.obs.collector.Collector`'s
+span forest into the OpenTelemetry OTLP/JSON trace shape
+(``resourceSpans`` → ``scopeSpans`` → ``spans`` with ``traceId`` /
+``spanId`` / ``parentSpanId``), so a trace dumped by ``--trace-out`` can
+be loaded into any OTLP-tolerant trace viewer or diffed structurally.
+
+"OTLP-ish" because timestamps are *relative*: the pipeline records
+``perf_counter`` intervals, not wall-clock epochs, so span times are
+exported as nanoseconds since the earliest span in the dump. Durations,
+lineage and attributes are exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.collector import Collector, Span
+
+
+def _attributes(span: Span) -> List[dict]:
+    return [
+        {"key": str(key), "value": {"stringValue": str(value)}}
+        for key, value in sorted(span.attrs.items())
+    ]
+
+
+def _flatten(span: Span, t0: float, out: List[dict]) -> None:
+    end = span.end if span.end is not None else span.start
+    out.append(
+        {
+            "traceId": span.trace_id or "",
+            "spanId": span.span_id,
+            "parentSpanId": span.parent_id or "",
+            "name": span.name,
+            "startTimeUnixNano": int(max(0.0, span.start - t0) * 1e9),
+            "endTimeUnixNano": int(max(0.0, end - t0) * 1e9),
+            "attributes": _attributes(span),
+        }
+    )
+    for child in span.children:
+        _flatten(child, t0, out)
+
+
+def trace_to_otlp(collector: Collector, service_name: Optional[str] = None) -> dict:
+    """One collector's span forest as an OTLP/JSON trace payload."""
+    spans: List[dict] = []
+    starts = [s.start for root in collector.spans for s in root.walk()]
+    t0 = min(starts) if starts else 0.0
+    for root in collector.spans:
+        _flatten(root, t0, spans)
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {
+                                "stringValue": service_name or collector.name
+                            },
+                        }
+                    ]
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.obs", "version": "2"},
+                        "spans": spans,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def write_trace(
+    collector: Collector, path: str, service_name: Optional[str] = None
+) -> None:
+    """Dump the OTLP-ish trace to ``path`` (the ``--trace-out`` sink)."""
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(trace_to_otlp(collector, service_name), handle, indent=2)
+        handle.write("\n")

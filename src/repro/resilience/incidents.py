@@ -6,7 +6,7 @@ the unit's label), *what* was raised (exception class, message, a stable
 traceback digest for dedup across runs) and *how hard* the firewall tried
 (attempt count, transient classification). Incidents are picklable, so
 they cross the fork-pool boundary intact, and JSON-serializable, so they
-ride in the ``repro.obs/1`` stats payload as the optional ``incidents``
+ride in the ``repro.obs/2`` stats payload as the optional ``incidents``
 block.
 
 Run health is a three-valued verdict over one run's incidents:

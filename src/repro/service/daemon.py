@@ -34,6 +34,7 @@ import socket
 import socketserver
 import threading
 import time
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.detector.gcatch import (
@@ -46,7 +47,15 @@ from repro.detector.gcatch import (
 from repro.detector.reporting import BugReport
 from repro.engine import ResultCache, diff_fingerprints
 from repro.engine.invalidate import InvalidationDelta
-from repro.obs import STAGE_SERVICE_REQUEST, Collector, snapshot
+from repro.obs import (
+    STAGE_SERVICE_REQUEST,
+    Collector,
+    Span,
+    TelemetryJournal,
+    render_prometheus,
+    request_record,
+    snapshot,
+)
 from repro.resilience.faultinject import maybe_fault
 from repro.resilience.firewall import Firewall, RetryPolicy
 from repro.resilience.incidents import Incident, incidents_to_json
@@ -125,6 +134,10 @@ class AnalysisService:
         checkers: Optional[List[str]] = None,
         disentangle: bool = True,
         collector: Optional[Collector] = None,
+        journal_path: Optional[str] = None,
+        journal_max_bytes: int = 4_000_000,
+        journal_max_files: int = 3,
+        slow_threshold_seconds: float = 5.0,
     ):
         self.collector = collector or Collector(f"serve:{path}")
         self.state = ProjectState(path, collector=self.collector)
@@ -151,6 +164,21 @@ class AnalysisService:
         #: summary of the last completed analysis, behind ``health``
         self._last: Optional[dict] = None
         self._shutdown = threading.Event()
+        #: optional persistent telemetry journal: one JSONL record per
+        #: request, size-bounded rotation, survives restarts
+        self.journal: Optional[TelemetryJournal] = (
+            TelemetryJournal(
+                journal_path,
+                max_bytes=journal_max_bytes,
+                max_files=journal_max_files,
+            )
+            if journal_path
+            else None
+        )
+        #: requests slower than this capture a full span-tree exemplar
+        self.slow_threshold_seconds = slow_threshold_seconds
+        #: most recent slow-request exemplars, newest last (also journaled)
+        self.exemplars: "deque[dict]" = deque(maxlen=8)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -188,7 +216,9 @@ class AnalysisService:
 
     def _handle(self, request: Request) -> dict:
         """One queued request: firewall around the handler, so a crash is
-        an error response with an incident — never a dead daemon."""
+        an error response with an incident — never a dead daemon. Every
+        path out of here echoes the request's ``trace_id``; served
+        requests additionally land one telemetry-journal record."""
         handler = getattr(self, "_method_" + request.method, None)
         if request.method not in METHODS or handler is None:
             return error_response(
@@ -196,12 +226,20 @@ class AnalysisService:
                 METHOD_NOT_FOUND,
                 f"unknown method {request.method!r} "
                 f"(valid methods: {', '.join(METHODS)})",
+                trace_id=request.trace_id,
             )
         self.requests_served += 1
         obs = self.collector
         obs.count("service.requests")
         obs.count(f"service.method.{request.method}")
-        with obs.span(STAGE_SERVICE_REQUEST):
+        hits_before, misses_before = self.cache.hits, self.cache.misses
+        started = time.perf_counter()
+        outcome = "ok"
+        with obs.span(
+            STAGE_SERVICE_REQUEST,
+            trace_id=request.trace_id,
+            method=request.method,
+        ) as request_span:
             try:
                 guarded = self.firewall.call(
                     lambda: self._run_handler(handler, request),
@@ -210,16 +248,102 @@ class AnalysisService:
                     reraise=(ServiceError,),
                 )
             except ServiceError as exc:
-                return error_response(request.id, exc.code, str(exc))
-        if guarded.ok:
-            return result_response(request.id, guarded.value)
-        incident = guarded.incident
-        return error_response(
-            request.id,
-            REQUEST_FAILED,
-            f"request crashed: {incident.exception}: {incident.message}",
-            incident=incident.to_json(),
+                guarded = None
+                outcome = "error"
+                response = error_response(
+                    request.id, exc.code, str(exc), trace_id=request.trace_id
+                )
+        elapsed = time.perf_counter() - started
+        if guarded is not None:
+            if guarded.ok:
+                response = result_response(
+                    request.id, guarded.value, trace_id=request.trace_id
+                )
+            else:
+                outcome = "crashed"
+                incident = guarded.incident
+                response = error_response(
+                    request.id,
+                    REQUEST_FAILED,
+                    f"request crashed: {incident.exception}: {incident.message}",
+                    incident=incident.to_json(),
+                    trace_id=request.trace_id,
+                )
+        self._finish_request(
+            request,
+            request_span,
+            response,
+            outcome,
+            elapsed,
+            cache_delta={
+                "hits": self.cache.hits - hits_before,
+                "misses": self.cache.misses - misses_before,
+            },
         )
+        return response
+
+    def _finish_request(
+        self,
+        request: Request,
+        request_span: Span,
+        response: dict,
+        outcome: str,
+        elapsed: float,
+        cache_delta: Dict[str, int],
+    ) -> None:
+        """Post-response telemetry: latency/stage distributions, the slow
+        exemplar, the journal record. Never fails the request — a broken
+        journal disk degrades into a ``journal.error`` counter."""
+        obs = self.collector
+        obs.observe("service.request.seconds", elapsed)
+        stages: Dict[str, float] = {}
+        for span in request_span.walk():
+            if span is request_span:
+                continue
+            stages[span.name] = stages.get(span.name, 0.0) + span.seconds
+        for name, seconds in stages.items():
+            obs.observe(f"stage.{name}.seconds", seconds)
+        slow = elapsed >= self.slow_threshold_seconds
+        exemplar: Optional[dict] = None
+        if slow:
+            obs.count("service.slow-requests")
+            exemplar = {
+                "trace_id": request.trace_id,
+                "method": request.method,
+                "elapsed_seconds": elapsed,
+                "queue_wait_seconds": request.queue_wait_seconds,
+                "spans": request_span.to_dict(),
+            }
+            self.exemplars.append(exemplar)
+        if self.journal is None:
+            return
+        result = response.get("result")
+        incidents = 0
+        if isinstance(result, dict) and isinstance(result.get("incidents"), list):
+            incidents = len(result["incidents"])
+        elif "error" in response and "incident" in response["error"]:
+            incidents = 1
+        record = request_record(
+            trace_id=request.trace_id,
+            method=request.method,
+            outcome=outcome,
+            elapsed_seconds=elapsed,
+            queue_wait_seconds=request.queue_wait_seconds,
+            code=result.get("code") if isinstance(result, dict) else None,
+            reports=len(result["reports"])
+            if isinstance(result, dict) and isinstance(result.get("reports"), list)
+            else None,
+            generation=result.get("generation") if isinstance(result, dict) else None,
+            stages=stages,
+            cache=cache_delta if any(cache_delta.values()) else None,
+            incidents=incidents,
+            slow=slow,
+            exemplar=exemplar,
+        )
+        try:
+            self.journal.append(record)
+        except OSError:
+            obs.count("journal.error")
 
     def _run_handler(self, handler, request: Request):
         maybe_fault("service-request", request.method)
@@ -422,7 +546,7 @@ class AnalysisService:
         return payload
 
     def _method_stats(self, params: dict) -> dict:
-        """The full ``repro.obs/1`` snapshot of the daemon's collector."""
+        """The full ``repro.obs/2`` snapshot of the daemon's collector."""
         extra = {
             "project": self.state.path,
             "generation": self.state.generation,
@@ -431,7 +555,17 @@ class AnalysisService:
         }
         if self.firewall.incidents:
             extra["incidents"] = incidents_to_json(self.firewall.incidents)
+        if self.exemplars:
+            extra["exemplars"] = list(self.exemplars)
         return snapshot(self.collector, extra=extra)
+
+    def _method_metrics_text(self, params: dict) -> dict:
+        """Prometheus text exposition of the daemon's collector, for
+        scrapers (``repro client <addr> metrics_text`` prints it raw)."""
+        return {
+            "content_type": "text/plain; version=0.0.4",
+            "text": render_prometheus(self.collector),
+        }
 
     def _method_metrics(self, params: dict) -> dict:
         """The light health/metrics view: obs counters + incident ledger."""
@@ -496,7 +630,9 @@ def _serve_line(service: AnalysisService, line: str) -> dict:
     try:
         request = decode_request(line)
     except ProtocolError as exc:
-        return error_response(exc.request_id, exc.code, str(exc))
+        return error_response(
+            exc.request_id, exc.code, str(exc), trace_id=exc.trace_id
+        )
     return service.queue.call(request)
 
 

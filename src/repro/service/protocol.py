@@ -14,8 +14,16 @@ Response (exactly one of ``result`` / ``error``)::
     {"id": 1, "error": {"code": -32603, "message": "...", "incident": {...}}}
 
 Methods (see :mod:`repro.service.daemon` for the parameter/result shapes):
-``ping``, ``detect``, ``fix``, ``stats``, ``metrics``, ``health``,
-``refresh``, ``shutdown``.
+``ping``, ``detect``, ``fix``, ``stats``, ``metrics``, ``metrics_text``,
+``health``, ``refresh``, ``shutdown``.
+
+Every response — results, errors, even protocol errors for garbage
+lines — carries a ``trace_id``. Clients may pin their own by putting a
+``trace_id`` string in the request object; otherwise the daemon mints
+one at decode time. The same id threads through the request's span
+tree, its telemetry-journal record and its slow-request exemplar, so a
+response in hand is enough to find everything the daemon knows about
+how it was served.
 
 Error codes follow JSON-RPC where a standard code exists; the service's
 own conditions sit in the implementation-defined ``-320xx`` range. A
@@ -30,6 +38,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
+
+from repro.obs import new_trace_id
 
 #: protocol identifier, echoed by ``ping``; bump on breaking changes
 PROTOCOL_VERSION = "repro.service/1"
@@ -51,6 +61,7 @@ METHODS = (
     "fix",
     "stats",
     "metrics",
+    "metrics_text",
     "health",
     "refresh",
     "shutdown",
@@ -70,21 +81,38 @@ class Request:
     #: measured from enqueue time (a request that waits out its deadline
     #: in the queue is answered with DEADLINE_EXCEEDED, never run)
     deadline_seconds: Optional[float] = None
+    #: request-scoped trace id: client-pinned or minted at decode time,
+    #: echoed on the response and stamped on every span the request opens
+    trace_id: str = field(default_factory=new_trace_id)
+    #: seconds spent waiting in the FIFO queue before running, stamped by
+    #: the queue worker just before dispatch (observability, not wire data)
+    queue_wait_seconds: float = 0.0
 
     def to_json(self) -> dict:
         payload: dict = {"id": self.id, "method": self.method}
         if self.params:
             payload["params"] = self.params
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
         return payload
 
 
 class ProtocolError(Exception):
     """A malformed request line; carries the response error code."""
 
-    def __init__(self, code: int, message: str, request_id: RequestId = None):
+    def __init__(
+        self,
+        code: int,
+        message: str,
+        request_id: RequestId = None,
+        trace_id: str = "",
+    ):
         super().__init__(message)
         self.code = code
         self.request_id = request_id
+        # even a garbage line gets a trace id, so its error response can
+        # be correlated with the daemon's logs
+        self.trace_id = trace_id or new_trace_id()
 
 
 def decode_request(line: str) -> Request:
@@ -96,18 +124,28 @@ def decode_request(line: str) -> Request:
         raise ProtocolError(PARSE_ERROR, f"invalid JSON: {exc}") from exc
     if not isinstance(payload, dict):
         raise ProtocolError(INVALID_REQUEST, "request must be a JSON object")
+    raw_trace = payload.get("trace_id")
+    trace_id = raw_trace if isinstance(raw_trace, str) and raw_trace else new_trace_id()
     request_id = payload.get("id")
     if request_id is not None and not isinstance(request_id, (int, str)):
-        raise ProtocolError(INVALID_REQUEST, "id must be an int or string")
+        raise ProtocolError(
+            INVALID_REQUEST, "id must be an int or string", trace_id=trace_id
+        )
     method = payload.get("method")
     if not isinstance(method, str) or not method:
         raise ProtocolError(
-            INVALID_REQUEST, "missing method", request_id=request_id
+            INVALID_REQUEST,
+            "missing method",
+            request_id=request_id,
+            trace_id=trace_id,
         )
     params = payload.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError(
-            INVALID_PARAMS, "params must be an object", request_id=request_id
+            INVALID_PARAMS,
+            "params must be an object",
+            request_id=request_id,
+            trace_id=trace_id,
         )
     deadline = params.get("deadline_seconds")
     if deadline is not None and (
@@ -117,17 +155,24 @@ def decode_request(line: str) -> Request:
             INVALID_PARAMS,
             "deadline_seconds must be a positive number",
             request_id=request_id,
+            trace_id=trace_id,
         )
     return Request(
         id=request_id,
         method=method,
         params=params,
         deadline_seconds=float(deadline) if deadline is not None else None,
+        trace_id=trace_id,
     )
 
 
-def result_response(request_id: RequestId, result: Any) -> dict:
-    return {"id": request_id, "result": result}
+def result_response(
+    request_id: RequestId, result: Any, trace_id: str = ""
+) -> dict:
+    payload: dict = {"id": request_id, "result": result}
+    if trace_id:
+        payload["trace_id"] = trace_id
+    return payload
 
 
 def error_response(
@@ -135,11 +180,15 @@ def error_response(
     code: int,
     message: str,
     incident: Optional[dict] = None,
+    trace_id: str = "",
 ) -> dict:
     error: dict = {"code": code, "message": message}
     if incident is not None:
         error["incident"] = incident
-    return {"id": request_id, "error": error}
+    payload: dict = {"id": request_id, "error": error}
+    if trace_id:
+        payload["trace_id"] = trace_id
+    return payload
 
 
 def encode_line(payload: dict) -> str:

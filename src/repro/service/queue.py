@@ -74,7 +74,12 @@ class RequestQueue:
         future: "Future[dict]" = Future()
         if self._stopping:
             future.set_result(
-                error_response(request.id, SHUTTING_DOWN, "daemon is shutting down")
+                error_response(
+                    request.id,
+                    SHUTTING_DOWN,
+                    "daemon is shutting down",
+                    trace_id=request.trace_id,
+                )
             )
             return future
         self._queue.put(_Pending(request=request, future=future, enqueued=time.monotonic()))
@@ -105,7 +110,13 @@ class RequestQueue:
                 return
             pending: _Pending = item  # type: ignore[assignment]
             request = pending.request
-            if pending.expired(time.monotonic()):
+            now = time.monotonic()
+            request.queue_wait_seconds = max(0.0, now - pending.enqueued)
+            if self.collector:
+                self.collector.observe(
+                    "service.queue.wait_seconds", request.queue_wait_seconds
+                )
+            if pending.expired(now):
                 if self.collector:
                     self.collector.count("service.deadline-exceeded")
                 pending.future.set_result(
@@ -114,6 +125,7 @@ class RequestQueue:
                         DEADLINE_EXCEEDED,
                         f"deadline of {request.deadline_seconds}s expired "
                         "while queued",
+                        trace_id=request.trace_id,
                     )
                 )
                 continue
@@ -123,6 +135,7 @@ class RequestQueue:
                 response = error_response(
                     request.id, SHUTTING_DOWN if self._stopping else -32603,
                     f"handler error: {type(exc).__name__}: {exc}",
+                    trace_id=request.trace_id,
                 )
             pending.future.set_result(response)
 
@@ -137,6 +150,9 @@ class RequestQueue:
             pending: _Pending = item  # type: ignore[assignment]
             pending.future.set_result(
                 error_response(
-                    pending.request.id, SHUTTING_DOWN, "daemon is shutting down"
+                    pending.request.id,
+                    SHUTTING_DOWN,
+                    "daemon is shutting down",
+                    trace_id=pending.request.trace_id,
                 )
             )

@@ -153,7 +153,7 @@ class TestObservabilityFlags:
         code = main(["explore", "--json", buggy_file])
         payload = json.loads(capsys.readouterr().out)
         assert code == 1
-        assert payload["schema"] == "repro.obs/1"
+        assert payload["schema"] == "repro.obs/2"
         assert payload["kind"] == "exploration"
         assert payload["runs"] > 0 and payload["any_leak"]
 
@@ -189,7 +189,7 @@ class TestStatsCommand:
         code = main(["stats", buggy_file, "--json", "--max-runs", "64"])
         payload = json.loads(capsys.readouterr().out)
         assert code == 0
-        assert payload["schema"] == "repro.obs/1"
+        assert payload["schema"] == "repro.obs/2"
         stage_names = {s["name"] for s in payload["stages"]}
         assert set(PIPELINE_STAGES) <= stage_names
         assert payload["reports"] >= 1 and payload["fixed"] == 1
@@ -326,3 +326,83 @@ class TestExitCodeRegression:
     def test_clean_project_exits_zero_everywhere(self, clean_file):
         assert self._run(["detect", clean_file]).returncode == 0
         assert self._run(["watch", clean_file, "--cycles", "0"]).returncode == 0
+
+
+class TestTelemetryCommands:
+    def test_stats_prom_emits_valid_exposition(self, buggy_file, capsys):
+        from repro.obs import validate_exposition
+
+        code = main(["stats", buggy_file, "--prom", "--max-runs", "32"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert validate_exposition(out) == []
+        assert "repro_stage_seconds_total" in out
+        assert "repro_solver_calls_total" in out
+
+    def test_detect_trace_out_writes_otlp_json(self, buggy_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(["detect", buggy_file, "--trace-out", str(trace_path)])
+        assert code == 1  # the bug is still reported
+        payload = json.loads(trace_path.read_text())
+        spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        names = {s["name"] for s in spans}
+        assert "gcatch" in names and "solve" in names
+        by_id = {s["spanId"]: s for s in spans}
+        children = [s for s in spans if s["parentSpanId"]]
+        assert children and all(s["parentSpanId"] in by_id for s in children)
+
+    def test_stats_trace_out(self, buggy_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(["stats", buggy_file, "--max-runs", "32",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        assert json.loads(trace_path.read_text())["resourceSpans"]
+
+    def test_top_renders_from_a_journal(self, tmp_path, capsys):
+        import json as jsonlib
+
+        from repro.obs import TelemetryJournal, request_record
+
+        path = str(tmp_path / "telemetry.jsonl")
+        journal = TelemetryJournal(path)
+        for i in range(10):
+            journal.append(request_record(
+                trace_id=f"trace{i}", method="detect", outcome="ok",
+                elapsed_seconds=0.05,
+            ))
+        code = main(["top", "--journal", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "requests" in out and "latency p50/p95/p99" in out
+        code = main(["top", "--journal", path, "--json", "--last", "5"])
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["requests"] == 5
+        assert payload["latency"]["p50"] == 0.05
+
+    def test_top_without_journal_is_a_usage_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOURNAL", raising=False)
+        assert main(["top"]) == 2
+        assert "no journal" in capsys.readouterr().err
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["top", "--journal", missing]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_fuzz_json_carries_telemetry_block(self, capsys):
+        import json
+
+        code = main(["fuzz", "--count", "4", "--budget", "16", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        stats = payload["stats"]
+        assert stats["schema"] == "repro.obs/2"
+        assert stats["counters"]["fuzz.programs"] == 4
+        assert sum(
+            v for k, v in stats["counters"].items() if k.startswith("fuzz.bucket.")
+        ) == 4
+        wall = stats["distributions"]["fuzz.program.seconds"]
+        assert wall["count"] == 4 and wall["p50"] is not None

@@ -64,6 +64,43 @@ def test_process_backend_parity_on_one_case():
     assert detect_keys(program, jobs=2, backend="process") == detect_keys(program)
 
 
+def span_shape(span):
+    """Order-insensitive structural fingerprint of a span tree."""
+    return (span.name, tuple(sorted(span_shape(c) for c in span.children)))
+
+
+def test_fork_backend_span_tree_matches_serial_shape():
+    """The ISSUE-7 lineage criterion: a jobs=4 fork-backend detect yields
+    one rooted span tree, identical in shape to the serial engine's, with
+    parent/trace lineage intact across the process boundary."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("no fork on this platform")
+
+    from repro.engine import EngineConfig, run_engine
+    from repro.obs import Collector, new_trace_id
+
+    case = max(BUG_SET, key=lambda c: len(c.source))
+    program = build_program(case.source, case.case_id)
+    trace = new_trace_id()
+    shapes = {}
+    for label, config in (
+        ("serial", EngineConfig(jobs=1)),
+        ("fork", EngineConfig(jobs=4, backend="process")),
+    ):
+        collector = Collector("engine", trace_id=trace)
+        run_engine(program, config=config, collector=collector)
+        assert len(collector.spans) == 1, f"{label}: expected one rooted tree"
+        root = collector.spans[0]
+        for span in root.walk():
+            assert span.trace_id == trace, f"{label}: {span.name} lost the trace"
+            for child in span.children:
+                assert child.parent_id == span.span_id
+        shapes[label] = span_shape(root)
+    assert shapes["fork"] == shapes["serial"]
+
+
 def test_whole_bugset_counts_match():
     """Aggregate Table 1 counts are unchanged by sharding."""
     serial_total = 0

@@ -231,3 +231,303 @@ def test_render_stats_mentions_every_recorded_stage():
     text = render_stats(collector)
     for stage in PIPELINE_STAGES:
         assert stage in text
+
+
+# -- lineage: span ids, adoption, trace propagation --------------------------
+
+
+def test_spans_carry_unique_ids_and_parent_links():
+    c = Collector(trace_id="t" * 32)
+    with c.span("outer"):
+        with c.span("inner"):
+            pass
+    outer = c.spans[0]
+    inner = outer.children[0]
+    assert outer.span_id and inner.span_id and outer.span_id != inner.span_id
+    assert inner.parent_id == outer.span_id
+    assert outer.trace_id == inner.trace_id == "t" * 32
+
+
+def test_adopt_spans_reparents_under_the_open_span():
+    sub = Collector("shard")
+    with sub.span("engine-shard"):
+        with sub.span("solve"):
+            pass
+    main = Collector("run", trace_id="abc123")
+    with main.span("gcatch"):
+        main.adopt_spans(sub.spans)
+    gcatch = main.spans[0]
+    shard = gcatch.children[0]
+    assert shard.name == "engine-shard"
+    assert shard.parent_id == gcatch.span_id
+    # adoption re-roots the whole subtree onto the adopter's trace
+    assert all(s.trace_id == "abc123" for s in gcatch.walk())
+
+
+def test_merge_adopts_spans_with_lineage_not_flat():
+    sub = Collector("worker")
+    with sub.span("engine-shard"):
+        pass
+    main = Collector("run")
+    with main.span("gcatch"):
+        main.merge(sub)
+    assert len(main.spans) == 1  # single rooted tree, not a flat sibling
+    assert main.spans[0].children[0].name == "engine-shard"
+    assert main.spans[0].children[0].parent_id == main.spans[0].span_id
+
+
+def test_span_dict_round_trip_preserves_lineage_and_attrs():
+    c = Collector(trace_id="feed")
+    with c.span("outer", shard="leakOne:chan", kind="bmoc"):
+        with c.span("inner"):
+            pass
+    restored = Span.from_dict(c.spans[0].to_dict())
+    assert restored.span_id == c.spans[0].span_id
+    assert restored.trace_id == "feed"
+    assert restored.attrs["shard"] == "leakOne:chan"
+    assert restored.children[0].parent_id == restored.span_id
+
+
+# -- real distributions ------------------------------------------------------
+
+
+def test_dist_percentiles_from_reservoir():
+    d = Dist()
+    for v in range(1, 101):  # 1..100
+        d.add(float(v))
+    assert d.p50 == pytest.approx(50, abs=2)
+    assert d.p95 == pytest.approx(95, abs=2)
+    assert d.p99 == pytest.approx(99, abs=2)
+
+
+def test_dist_reservoir_is_bounded_and_deterministic():
+    from repro.obs import RESERVOIR_SIZE
+
+    a, b = Dist(), Dist()
+    for v in range(10_000):
+        a.add(float(v))
+        b.add(float(v))
+    assert len(a.samples) == RESERVOIR_SIZE
+    # fixed-seed algorithm R: identical observation sequences keep the
+    # identical sample (percentiles are reproducible byte-for-byte)
+    assert a.samples == b.samples
+    assert a.p99 is not None and a.p99 > a.p50
+
+
+def test_dist_histogram_buckets_count_every_observation():
+    from repro.obs import DEFAULT_BUCKET_BOUNDS
+
+    d = Dist()
+    values = [0.0005, 0.003, 0.07, 0.3, 2.0, 999.0]
+    for v in values:
+        d.add(v)
+    assert sum(d.buckets) == len(values)
+    assert len(d.buckets) == len(DEFAULT_BUCKET_BOUNDS) + 1
+    assert d.buckets[-1] == 1  # the +Inf bucket caught 999.0
+
+
+def test_dist_merge_adds_buckets_and_bounds_reservoir():
+    from repro.obs import RESERVOIR_SIZE
+
+    a, b = Dist(), Dist()
+    for v in range(300):
+        a.add(float(v))
+    for v in range(300, 600):
+        b.add(float(v))
+    a.merge(b)
+    assert a.count == 600
+    assert sum(a.buckets) == 600
+    assert len(a.samples) <= RESERVOIR_SIZE
+    assert a.min == 0.0 and a.max == 599.0
+
+
+# -- repro.obs/2 schema ------------------------------------------------------
+
+
+def test_snapshot_v2_round_trips_histograms_and_lineage():
+    c = Collector("roundtrip", trace_id="cafe" * 8)
+    with c.span("gcatch"):
+        with c.span("solve"):
+            pass
+    for v in (0.001, 0.5, 3.0):
+        c.observe("lat", v)
+    payload = json.loads(json_dumps(snapshot(c)))
+    assert payload["schema"] == SCHEMA == "repro.obs/2"
+    assert payload["trace_id"] == "cafe" * 8
+    dist = payload["distributions"]["lat"]
+    assert dist["p50"] is not None and sum(dist["buckets"]) == 3
+    restored = load(payload)
+    assert restored.trace_id == "cafe" * 8
+    assert restored.dists["lat"].p95 == c.dists["lat"].p95
+    assert restored.dists["lat"].buckets == c.dists["lat"].buckets
+    again = snapshot(restored)
+    assert again["distributions"] == payload["distributions"]
+    assert again["spans"] == payload["spans"]
+
+
+def test_load_accepts_v1_snapshots():
+    """PR-2-era snapshots (means-only dists, anonymous spans) still load."""
+    v1 = {
+        "schema": "repro.obs/1",
+        "name": "old-run",
+        "stages": [{"name": "solve", "count": 2, "seconds": 0.5}],
+        "counters": {"solver.calls": 2},
+        "gauges": {},
+        "distributions": {"sz": {"count": 2, "total": 12.0, "min": 2.0, "max": 10.0}},
+        "spans": [
+            {"name": "gcatch", "seconds": 0.6,
+             "children": [{"name": "solve", "seconds": 0.5}]},
+        ],
+    }
+    c = load(v1)
+    assert c.counters["solver.calls"] == 2
+    d = c.dists["sz"]
+    assert (d.count, d.mean) == (2, 6.0)
+    assert d.p50 is None  # /1 had no reservoir: percentiles honestly absent
+    # anonymous spans get fresh ids and consistent child lineage
+    root = c.spans[0]
+    assert root.span_id
+    assert root.children[0].parent_id == root.span_id
+    assert snapshot(c)["schema"] == "repro.obs/2"
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+
+def test_render_prometheus_is_valid_line_by_line():
+    from repro.obs import render_prometheus, validate_exposition
+
+    c = Collector("prom")
+    with c.span("gcatch"):
+        with c.span("solve"):
+            pass
+    c.count("solver.calls", 3)
+    c.gauge("service.queue-depth", 2)
+    for v in (0.01, 0.2, 1.5):
+        c.observe("service.request.seconds", v)
+    text = render_prometheus(c)
+    assert validate_exposition(text) == []
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert 'repro_stage_seconds_total{stage="gcatch"}' in text
+    assert "repro_solver_calls_total 3" in lines
+    assert "repro_service_queue_depth 2" in lines
+    # the request-latency histogram with percentile gauges
+    assert any(
+        l.startswith('repro_service_request_seconds_bucket{le="0.025"}')
+        for l in lines
+    )
+    assert "repro_service_request_seconds_count 3" in lines
+    for q in ("p50", "p95", "p99"):
+        assert any(l.startswith(f"repro_service_request_seconds_{q} ") for l in lines)
+
+
+def test_validate_exposition_flags_garbage():
+    from repro.obs import validate_exposition
+
+    bad = validate_exposition("ok_metric 1\nnot a metric line!\n")
+    assert bad == ["not a metric line!"]
+
+
+# -- OTLP-ish trace export ---------------------------------------------------
+
+
+def test_trace_to_otlp_flattens_with_lineage(tmp_path):
+    from repro.obs import trace_to_otlp, write_trace
+
+    c = Collector("svc", trace_id="beef" * 8)
+    with c.span("service-request", method="detect"):
+        with c.span("gcatch"):
+            pass
+    payload = trace_to_otlp(c)
+    spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+    assert [s["name"] for s in spans] == ["service-request", "gcatch"]
+    root, child = spans
+    assert child["parentSpanId"] == root["spanId"]
+    assert root["traceId"] == child["traceId"] == "beef" * 8
+    assert root["endTimeUnixNano"] >= root["startTimeUnixNano"]
+    assert {"key": "method", "value": {"stringValue": "detect"}} in root["attributes"]
+    out = tmp_path / "trace.json"
+    write_trace(c, str(out))
+    assert json.loads(out.read_text()) == payload
+
+
+# -- telemetry journal and `repro top` ---------------------------------------
+
+
+def test_journal_appends_and_reads_records(tmp_path):
+    from repro.obs import TelemetryJournal, request_record
+
+    journal = TelemetryJournal(str(tmp_path / "telemetry.jsonl"))
+    for i in range(5):
+        journal.append(
+            request_record(
+                trace_id=f"t{i}", method="detect", outcome="ok",
+                elapsed_seconds=0.1 * i,
+            )
+        )
+    records = journal.read()
+    assert [r["trace_id"] for r in records] == [f"t{i}" for i in range(5)]
+    assert journal.read(last=2)[0]["trace_id"] == "t3"
+
+
+def test_journal_rotates_at_max_bytes_and_bounds_files(tmp_path):
+    from repro.obs import TelemetryJournal, request_record
+
+    path = str(tmp_path / "j.jsonl")
+    journal = TelemetryJournal(path, max_bytes=400, max_files=3)
+    for i in range(50):
+        journal.append(
+            request_record(
+                trace_id=f"trace-{i:04d}", method="detect", outcome="ok",
+                elapsed_seconds=0.01,
+            )
+        )
+    import os
+
+    files = journal.files()
+    assert 1 < len(files) <= 3
+    assert all(os.path.getsize(f) <= 400 for f in files)
+    # newest record survives; oldest rotated out
+    records = journal.read()
+    assert records[-1]["trace_id"] == "trace-0049"
+    assert records[0]["trace_id"] != "trace-0000"
+
+
+def test_journal_skips_corrupt_lines(tmp_path):
+    from repro.obs import TelemetryJournal
+
+    path = tmp_path / "j.jsonl"
+    path.write_text('{"trace_id": "good", "elapsed_seconds": 0.1}\n{torn\n')
+    journal = TelemetryJournal(str(path))
+    assert [r["trace_id"] for r in journal.read()] == ["good"]
+
+
+def test_summarize_and_render_top(tmp_path):
+    from repro.obs import render_top, request_record, summarize
+
+    records = []
+    for i in range(20):
+        records.append(
+            request_record(
+                trace_id=f"tr{i}", method="detect" if i % 2 else "stats",
+                outcome="ok" if i != 7 else "crashed",
+                elapsed_seconds=0.01 * (i + 1),
+                queue_wait_seconds=0.001,
+                cache={"hits": 3, "misses": 1},
+                incidents=1 if i == 7 else 0,
+            )
+        )
+        records[-1]["ts"] = 1000.0 + i  # deterministic window
+    summary = summarize(records)
+    assert summary["requests"] == 20
+    assert summary["throughput_rps"] == pytest.approx(20 / 19)
+    assert summary["error_rate"] == pytest.approx(1 / 20)
+    assert summary["cache_hit_rate"] == pytest.approx(0.75)
+    assert summary["latency"].p50 is not None
+    assert summary["slowest"][0]["elapsed_seconds"] == pytest.approx(0.2)
+    text = render_top(records)
+    assert "latency p50/p95/p99" in text
+    assert "cache hit rate" in text and "75%" in text
+    assert "detect" in text and "stats" in text
+    assert render_top([]).startswith("repro top: journal is empty")

@@ -534,7 +534,7 @@ class TestCLIPolicy:
                      "--faults", "solve@alpha:raise"])
         payload = json.loads(capsys.readouterr().out)
         assert code == 0
-        assert payload["schema"] == "repro.obs/1"
+        assert payload["schema"] == "repro.obs/2"
         assert payload["health"] == "degraded"
         [incident] = payload["incidents"]
         assert incident["site"] == "solve"

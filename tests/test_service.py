@@ -345,7 +345,7 @@ class TestDaemonMethods:
     def test_stats_is_obs_snapshot(self, service):
         ok(service.call("detect"))
         result = ok(service.call("stats"))
-        assert result["schema"] == "repro.obs/1"
+        assert result["schema"] == "repro.obs/2"
         assert result["generation"] == 1
 
     def test_shutdown_flags_service(self, service):
@@ -514,3 +514,184 @@ class TestWatcher:
         text = "\n".join(lines)
         assert "watching" in text
         assert "RESOLVED" in text
+
+
+# -- request-scoped telemetry (ISSUE 7) --------------------------------------
+
+
+class TestRequestTelemetry:
+    def test_every_response_carries_a_trace_id(self, service):
+        for method in ("ping", "detect", "stats", "metrics", "health"):
+            response = service.call(method)
+            assert isinstance(response.get("trace_id"), str), method
+            assert len(response["trace_id"]) == 32
+
+    def test_client_pinned_trace_id_is_echoed(self, service):
+        request = decode_request(
+            '{"id": 1, "method": "ping", "trace_id": "my-trace-0001"}'
+        )
+        response = service.queue.call(request)
+        assert response["trace_id"] == "my-trace-0001"
+
+    def test_error_responses_carry_trace_ids(self, service):
+        # unknown method
+        response = service.call("no_such_method")
+        assert response["trace_id"]
+        # protocol error: even a garbage line gets a trace id
+        from repro.service.daemon import _serve_line
+
+        response = _serve_line(service, "this is not json")
+        assert response["error"]["code"] == PARSE_ERROR
+        assert response["trace_id"]
+
+    def test_deadline_and_shutdown_responses_carry_trace_ids(self, service):
+        release = threading.Event()
+        first = Request(id=1, method="detect", params={})
+        service.queue.submit(first)  # occupy the worker briefly
+        expired = Request(id=2, method="ping", deadline_seconds=1e-9)
+        response = service.queue.submit(expired).result(timeout=5)
+        if "error" in response:  # may have run if the queue was fast
+            assert response["error"]["code"] == DEADLINE_EXCEEDED
+            assert response["trace_id"] == expired.trace_id
+        service.stop()
+        refused = Request(id=3, method="ping")
+        response = service.queue.submit(refused).result(timeout=5)
+        assert response["error"]["code"] == SHUTTING_DOWN
+        assert response["trace_id"] == refused.trace_id
+
+    def test_request_span_carries_the_trace_id(self, service):
+        response = service.call("detect")
+        trace_id = response["trace_id"]
+        spans = [
+            s
+            for s in service.collector.spans
+            if s.name == "service-request" and s.trace_id == trace_id
+        ]
+        assert len(spans) == 1
+        # the whole request tree shares the trace, down into the pipeline
+        assert all(s.trace_id == trace_id for s in spans[0].walk())
+        assert spans[0].attrs["method"] == "detect"
+
+    def test_request_latency_and_stage_dists_accumulate(self, service):
+        service.call("detect")
+        service.call("detect")
+        dists = service.collector.dists
+        assert dists["service.request.seconds"].count >= 2
+        assert dists["service.queue.wait_seconds"].count >= 2
+        assert any(name.startswith("stage.") for name in dists)
+
+    def test_metrics_text_serves_valid_prometheus(self, service):
+        ok(service.call("detect"))
+        result = ok(service.call("metrics_text"))
+        from repro.obs import validate_exposition
+
+        assert result["content_type"].startswith("text/plain")
+        text = result["text"]
+        assert validate_exposition(text) == []
+        assert "repro_service_requests_total" in text
+        assert "repro_service_request_seconds_bucket" in text
+        for q in ("p50", "p95", "p99"):
+            assert f"repro_service_request_seconds_{q} " in text
+
+
+class TestTelemetryJournal:
+    def test_daemon_journals_one_record_per_request(self, buggy_file, tmp_path):
+        journal_path = str(tmp_path / "telemetry.jsonl")
+        svc = AnalysisService(buggy_file, journal_path=journal_path).start()
+        try:
+            r1 = svc.call("detect")
+            r2 = svc.call("ping")
+        finally:
+            svc.stop()
+        records = svc.journal.read()
+        assert [r["method"] for r in records] == ["detect", "ping"]
+        assert records[0]["trace_id"] == r1["trace_id"]
+        assert records[1]["trace_id"] == r2["trace_id"]
+        detect = records[0]
+        assert detect["outcome"] == "ok"
+        assert detect["elapsed_seconds"] > 0
+        assert detect["reports"] == 1
+        assert detect["generation"] == 1
+        assert "gcatch" in detect["stages"]
+
+    def test_journal_survives_daemon_restart(self, buggy_file, tmp_path):
+        journal_path = str(tmp_path / "telemetry.jsonl")
+        svc = AnalysisService(buggy_file, journal_path=journal_path).start()
+        svc.call("detect")
+        svc.stop()
+        svc = AnalysisService(buggy_file, journal_path=journal_path).start()
+        svc.call("detect")
+        svc.stop()
+        records = svc.journal.read()
+        assert len(records) == 2  # both generations of the daemon
+
+    def test_slow_requests_capture_span_tree_exemplars(self, buggy_file, tmp_path):
+        svc = AnalysisService(
+            buggy_file,
+            journal_path=str(tmp_path / "t.jsonl"),
+            slow_threshold_seconds=0.0,  # everything is "slow"
+        ).start()
+        try:
+            response = svc.call("detect")
+            stats = ok(svc.call("stats"))
+        finally:
+            svc.stop()
+        # stats exposes the exemplar ring (the stats request itself is
+        # also "slow" under a zero threshold, hence >= 1)
+        assert len(stats["exemplars"]) >= 1
+        assert stats["exemplars"][0]["trace_id"] == response["trace_id"]
+        assert len(svc.exemplars) >= 1
+        exemplar = next(
+            e for e in svc.exemplars if e["trace_id"] == response["trace_id"]
+        )
+        assert exemplar["spans"]["name"] == "service-request"
+        # evidence pointers reach the engine's shard spans
+        names = set()
+
+        def collect(span):
+            names.add(span["name"])
+            for child in span.get("children", ()):
+                collect(child)
+
+        collect(exemplar["spans"])
+        assert "gcatch" in names
+        # the journal record carries the same exemplar, flagged slow
+        record = next(
+            r
+            for r in svc.journal.read()
+            if r["trace_id"] == response["trace_id"]
+        )
+        assert record["slow"] is True
+        assert record["exemplar"]["trace_id"] == response["trace_id"]
+
+    def test_fast_requests_do_not_journal_exemplars(self, buggy_file, tmp_path):
+        svc = AnalysisService(
+            buggy_file, journal_path=str(tmp_path / "t.jsonl")
+        ).start()
+        try:
+            svc.call("ping")
+        finally:
+            svc.stop()
+        record = svc.journal.read()[-1]
+        assert "slow" not in record and "exemplar" not in record
+        assert not svc.exemplars
+
+    def test_journal_rotation_under_load(self, buggy_file, tmp_path):
+        journal_path = str(tmp_path / "t.jsonl")
+        svc = AnalysisService(
+            buggy_file,
+            journal_path=journal_path,
+            journal_max_bytes=2_000,
+            journal_max_files=2,
+        ).start()
+        try:
+            for _ in range(100):
+                svc.call("ping")
+        finally:
+            svc.stop()
+        import os
+
+        files = svc.journal.files()
+        assert len(files) == 2
+        assert all(os.path.getsize(f) <= 2_000 for f in files)
+        assert all(r["method"] == "ping" for r in svc.journal.read())
