@@ -32,6 +32,11 @@ class CallGraph:
     reverse: Dict[str, Set[str]] = field(default_factory=dict)  # callee -> callers
     sites: List[CallSite] = field(default_factory=list)
     ambiguous_sites: List[CallSite] = field(default_factory=list)
+    # lazy memos; valid because the graph is immutable after build_call_graph.
+    # Returned sets are shared — callers must not mutate them in place.
+    _reach_memo: Dict[str, Set[str]] = field(default_factory=dict, repr=False)
+    _spawn_memo: Dict[str, List] = field(default_factory=dict, repr=False)
+    _closure_memo: Dict[str, Set[str]] = field(default_factory=dict, repr=False)
 
     def callees(self, name: str) -> Set[str]:
         return self.edges.get(name, set())
@@ -41,6 +46,9 @@ class CallGraph:
 
     def reachable_from(self, name: str) -> Set[str]:
         """All functions transitively callable from ``name`` (inclusive)."""
+        memo = self._reach_memo.get(name)
+        if memo is not None:
+            return memo
         seen: Set[str] = set()
         stack = [name]
         while stack:
@@ -49,18 +57,49 @@ class CallGraph:
                 continue
             seen.add(current)
             stack.extend(self.edges.get(current, set()) - seen)
+        self._reach_memo[name] = seen
         return seen
 
     def spawn_sites(self, name: str) -> List[Tuple[ir.Go, Optional[str]]]:
         """Go instructions inside ``name`` with their resolved child function."""
+        memo = self._spawn_memo.get(name)
+        if memo is not None:
+            return memo
         func = self.program.functions.get(name)
         if func is None:
-            return []
+            self._spawn_memo[name] = []
+            return self._spawn_memo[name]
         out: List[Tuple[ir.Go, Optional[str]]] = []
         for instr in func.instructions():
             if isinstance(instr, ir.Go):
                 out.append((instr, _static_target(instr.func_op)))
+        self._spawn_memo[name] = out
         return out
+
+    def reach_closure(self, name: str) -> Set[str]:
+        """Call-reachable plus goroutine-spawn-reachable functions from
+        ``name`` — the difference closure every primitive scope is built
+        from. Computed once per root and shared by all primitives
+        (:mod:`repro.analysis.scope` used to re-derive it per primitive)."""
+        memo = self._closure_memo.get(name)
+        if memo is not None:
+            return memo
+        closure = self.reachable_from(name) | self._spawn_reach(name)
+        self._closure_memo[name] = closure
+        return closure
+
+    def _spawn_reach(self, name: str) -> Set[str]:
+        """Functions reachable through goroutine spawns from ``name``'s call tree."""
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for reachable in self.reachable_from(current):
+                for _, child in self.spawn_sites(reachable):
+                    if child is not None and child not in seen:
+                        seen.add(child)
+                        frontier.append(child)
+        return seen
 
 
 def _static_target(op: ir.Operand) -> Optional[str]:

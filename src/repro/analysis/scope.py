@@ -43,37 +43,20 @@ def compute_scope(primitive: Primitive, call_graph: CallGraph) -> Scope:
     op_functions = {f for f in op_functions if f in program.functions}
     if not op_functions:
         return Scope(primitive, lca=None, functions=set())
-    reach_cache: Dict[str, Set[str]] = {}
-
-    def reach(name: str) -> Set[str]:
-        if name not in reach_cache:
-            reach_cache[name] = call_graph.reachable_from(name) | _spawn_reach(call_graph, name)
-        return reach_cache[name]
+    # the reach closure is memoized on the call graph, so all primitives of
+    # one program share it instead of re-deriving it per primitive
+    reach = call_graph.reach_closure
 
     covering = [f for f in program.functions if op_functions <= reach(f)]
     if covering:
         lca = min(covering, key=lambda f: (len(reach(f)), f))
-        return Scope(primitive, lca=lca, functions=reach(lca))
+        return Scope(primitive, lca=lca, functions=set(reach(lca)))
     # library case: no single root covers every operation; union the scopes
     # of the functions that directly contain operations
     union: Set[str] = set()
     for f in op_functions:
         union |= reach(f)
     return Scope(primitive, lca=None, functions=union)
-
-
-def _spawn_reach(call_graph: CallGraph, name: str) -> Set[str]:
-    """Functions reachable through goroutine spawns from ``name``'s call tree."""
-    seen: Set[str] = set()
-    frontier = [name]
-    while frontier:
-        current = frontier.pop()
-        for reachable in call_graph.reachable_from(current):
-            for _, child in call_graph.spawn_sites(reachable):
-                if child is not None and child not in seen:
-                    seen.add(child)
-                    frontier.append(child)
-    return seen
 
 
 def compute_all_scopes(pmap: PrimitiveMap, call_graph: CallGraph) -> Dict[Primitive, Scope]:

@@ -136,6 +136,7 @@ class Project:
         max_retries: Optional[int] = None,
         retry_timeouts: bool = False,
         checkers: Optional[List[str]] = None,
+        solver_mode: Optional[str] = None,
     ) -> GCatchResult:
         """Run GCatch (BMOC detector + the five traditional checkers).
 
@@ -152,7 +153,13 @@ class Project:
         bounds transient-failure retries; ``retry_timeouts`` retries a
         solver-timeout shard once with a quartered node budget;
         ``checkers`` (default: ``REPRO_CHECKERS``, else all) restricts
-        the traditional-checker set.
+        the traditional-checker set. ``solver_mode`` (default:
+        ``REPRO_SOLVER_MODE``, else ``batched``) selects the per-group
+        constraint-solving pipeline: ``batched`` reuses structures across
+        a primitive's suspicious groups through a
+        :class:`repro.constraints.session.SolverSession`; ``classic``
+        encodes and solves every group from scratch (the escape hatch —
+        both produce byte-identical reports).
         """
         return run_gcatch(
             self.program,
@@ -166,6 +173,7 @@ class Project:
             max_retries=max_retries,
             retry_timeouts=retry_timeouts,
             checkers=checkers,
+            solver_mode=solver_mode,
         )
 
     # -- fixing -------------------------------------------------------------

@@ -22,7 +22,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.primitives import Primitive
 from repro.constraints.variables import BufferSizeConst, OrderVar
-from repro.detector.paths import OpEvent, PathCombination, SelectChoice, SpawnEvent
+from repro.detector.paths import (
+    BranchEvent,
+    OpEvent,
+    PathCombination,
+    SelectChoice,
+    SpawnEvent,
+)
 
 DEFAULT_BUFFER_GUESS = 0  # unknown (non-constant) buffer sizes: assume unbuffered
 
@@ -46,10 +52,20 @@ class Occurrence:
 
 @dataclass
 class StopPoint:
-    """One member of the suspicious group: where a goroutine stops/blocks."""
+    """One member of the suspicious group: where a goroutine stops/blocks.
+
+    ``attempts`` is the estimated number of times the stopped operation is
+    still attempted once the goroutine reaches it: 1 for an ordinary stop
+    (exactly this occurrence), ``None`` for an operation inside a loop the
+    enumerator cut whose trip count is statically unknown (unboundedly many
+    further attempts), k >= 1 for a cut counted loop with ~k iterations
+    left. Φ_B for a send becomes ``attempts > BS - CB`` — with attempts=1
+    that is the paper's plain ``CB >= BS`` rule. Set by :func:`encode`.
+    """
 
     gid: int
     event: object  # OpEvent | SelectChoice
+    attempts: Optional[int] = 1
 
     @property
     def line(self) -> int:
@@ -124,6 +140,94 @@ class ConstraintSystem:
 ENCODER_VERSION = "1"
 
 
+def repeat_attempts(path, stop_event, stop_index: Optional[int] = None) -> Optional[int]:
+    """Estimate how many more times a stop operation will be attempted.
+
+    Ordinary stops get 1 (the operation happens exactly once more). A send
+    inside a loop the enumerator *cut* at the unroll limit keeps being
+    attempted on every further iteration, so its remaining-attempt count is
+    the loop's trip bound minus the iterations already on the path — or
+    ``None`` (unbounded) when the trip count is statically unknown. The
+    bound comes from a repeated read-only branch ``var < C`` / ``var <= C``
+    guarding the loop body (MiniGo counted loops start at 0 with step 1);
+    anything else is conservatively unbounded.
+
+    Only sends are treated as repeatable: a blocked recv in a cut loop is
+    already blocked at its first unmatched occurrence, and suspicious-group
+    validity (no complementary send/recv stops in one group) makes the
+    solo-fill reasoning for sends sound. That reasoning also needs the
+    *loop body itself* to only fill: a recv or close on the same primitive
+    inside the iteration window drains (or ends) what the repeated send
+    accumulates, so such loops keep the ordinary single-attempt estimate —
+    a self-draining pump never fills its own buffer.
+    """
+    if not getattr(path, "cut", False):
+        return 1
+    if not isinstance(stop_event, OpEvent) or stop_event.kind != "send":
+        return 1
+    if stop_event.instr is None:
+        return 1
+    events = path.events
+    if stop_index is None:
+        stop_index = events.index(stop_event)
+    instances = [
+        i
+        for i, e in enumerate(events)
+        if isinstance(e, OpEvent) and e.kind == "send" and e.instr is stop_event.instr
+    ]
+    if len(instances) < 2:
+        return 1  # not repeated on the cut prefix: no loop evidence
+    prim = stop_event.prim
+    for e in events[instances[0] + 1 : instances[1]]:
+        if (
+            isinstance(e, OpEvent)
+            and e.prim is prim
+            and e.kind in ("recv", "close")
+        ):
+            return 1  # the loop drains the same primitive it fills
+        if isinstance(e, SelectChoice) and any(
+            case.prim is prim and case.kind == "recv" for case in e.pset_cases
+        ):
+            return 1
+    executed = sum(1 for i in instances if i < stop_index)
+    bound = _trip_bound(events, instances)
+    if bound is None:
+        return None
+    return max(1, bound - executed)
+
+
+def _trip_bound(events, instances) -> Optional[int]:
+    """Trip bound of the cut loop around repeated op ``instances``.
+
+    A candidate is a taken ``var < C`` / ``var <= C`` branch over an int
+    constant that repeats with the op (it appears inside the iteration
+    window between two consecutive instances *and* at least twice on the
+    path) — the shape MiniGo's counted ``for i < C`` loops lower to.
+    """
+    lo, hi = instances[0], instances[1]
+    window = {
+        (e.var, e.op, e.const)
+        for e in events[lo + 1 : hi]
+        if isinstance(e, BranchEvent) and e.taken
+    }
+    counts: Dict[tuple, int] = {}
+    for e in events:
+        if isinstance(e, BranchEvent) and e.taken:
+            sig = (e.var, e.op, e.const)
+            counts[sig] = counts.get(sig, 0) + 1
+    bounds = []
+    for var, op, const in window:
+        if counts.get((var, op, const), 0) < 2:
+            continue
+        if isinstance(const, bool) or not isinstance(const, int) or const < 1:
+            continue
+        if op == "<":
+            bounds.append(const)
+        elif op == "<=":
+            bounds.append(const + 1)
+    return min(bounds) if bounds else None
+
+
 def encode(
     combo: PathCombination, stops: List[StopPoint], collector=None
 ) -> ConstraintSystem:
@@ -132,7 +236,9 @@ def encode(
     stop_index: Dict[int, int] = {}
     for stop in stops:
         goroutine = next(g for g in combo.goroutines if g.gid == stop.gid)
-        stop_index[stop.gid] = goroutine.path.events.index(stop.event)
+        idx = goroutine.path.events.index(stop.event)
+        stop_index[stop.gid] = idx
+        stop.attempts = repeat_attempts(goroutine.path, stop.event, idx)
 
     occ_id = 0
     spawn_occurrence: Dict[Tuple[int, int], Occurrence] = {}

@@ -35,8 +35,9 @@ from repro.detector.paths import OpEvent, SelectChoice, SpawnEvent
 MAX_NODES = 50_000
 
 #: version tag of the decision procedure; part of every cache fingerprint,
-#: so bumping it invalidates all cached detection results (repro.engine)
-SOLVER_VERSION = "1"
+#: so bumping it invalidates all cached detection results (repro.engine).
+#: "2": repeatable-send Φ_B (StopPoint.attempts) + the batched session.
+SOLVER_VERSION = "2"
 
 #: decision-procedure outcomes (the paper's SAT / UNSAT / Z3 timeout)
 SAT = "sat"
@@ -372,19 +373,28 @@ class _Search:
     def _stop_blocked(self, stop: StopPoint, states: List[_PrimState]) -> bool:
         event = stop.event
         if isinstance(event, OpEvent):
-            return self._op_blocked(event, states)
+            return self._op_blocked(event, states, getattr(stop, "attempts", 1))
         if isinstance(event, SelectChoice):
             if event.has_default or event.has_other_cases:
                 return False
             return all(self._op_blocked(case, states) for case in event.pset_cases)
         return False
 
-    def _op_blocked(self, op: OpEvent, states: List[_PrimState]) -> bool:
+    def _op_blocked(
+        self, op: OpEvent, states: List[_PrimState], attempts: Optional[int] = 1
+    ) -> bool:
         state = self._state_of(states, op.prim)
         bs = self.system.buffer_size(op.prim)
         kind = op.kind
         if kind == "send":
-            return not state.closed and state.count >= bs
+            if state.closed:
+                return False
+            if attempts is None:
+                # unboundedly repeated send (cut loop): any finite buffer
+                # headroom is eventually exhausted
+                return True
+            # attempts=1 reduces to the paper's CB >= BS rule
+            return attempts > bs - state.count
         if kind == "recv":
             return not state.closed and state.count == 0
         if kind == "lock":

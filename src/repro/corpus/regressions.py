@@ -10,20 +10,30 @@ locks today's (wrong) triage so the gap cannot silently move, and marks
 the *desired* agreement as a strict ``xfail`` so closing the gap flips
 the test and forces this file to shrink.
 
-The three entries below are the complete set of finding *shapes* from a
-25-seed × 200-program hunt (40 raw findings, every one an instance of
-these shapes; zero campaign crashes):
+The entries below are the finding *shapes* from a 25-seed ×
+200-program hunt (40 raw findings, every one an instance of these
+shapes; zero campaign crashes). Closing a gap moves its record from
+``FUZZ_REGRESSIONS`` into ``CLOSED_REGRESSIONS`` — provenance and
+diagnosis are kept so the fix stays regression-tested (the oracles
+must keep agreeing on the very programs that once split them).
 
-* ``bmocc_s3_pump``/``bmocc_s3_loop`` + ``buffer-grow`` — BMOC misses
-  the multiple-operations leak once the channel gets a buffer: the
-  buffered model satisfies the first send, and the encoding does not
-  chase the later operation that still blocks. Exhaustive exploration
-  exhibits the leak. A static false negative (``dynamic-only``).
+Open:
+
 * ``bmocc_s1_race`` + ``drop-close`` — removing the ``close`` leaves a
   select arm reading a channel that no goroutine will ever send on or
   close; BMOC still reports the original blocking pattern, but the
   select's other arm always rescues the goroutine, and exhaustive
   search proves no leak. A static false positive (``static-only``).
+
+Closed:
+
+* ``bmocc_s3_pump``/``bmocc_s3_loop`` + ``buffer-grow`` — BMOC used to
+  miss the multiple-operations leak once the channel got a buffer: the
+  buffered model satisfied the first send and never chased the later
+  sends that still block. Closed by the repeatable-send blocking rule
+  (``repro.constraints.encoding.repeat_attempts``): a send truncated by
+  the unroll limit carries its remaining loop-trip attempts into Φ_B,
+  so ``attempts > BS - CB`` reports the leak the buffer was hiding.
 """
 
 from __future__ import annotations
@@ -54,45 +64,23 @@ class FuzzRegression:
         return triage_program(self.program(), config=config or CampaignConfig())
 
 
+@dataclass(frozen=True)
+class ClosedRegression:
+    """A retired finding: the gap it pinned has been fixed.
+
+    The original record is kept whole — ``case.program()`` still
+    replays the minimized recipe and ``(campaign_seed, index)`` still
+    replays the raw campaign program, so the fix is locked from both
+    directions. ``case.classification`` records the *historical* wrong
+    verdict; today's triage must land in ``resolved_bucket``.
+    """
+
+    case: FuzzRegression
+    resolved_bucket: str  # the bucket today's triage must produce
+    resolution: str  # one-line description of what closed the gap
+
+
 FUZZ_REGRESSIONS: Tuple[FuzzRegression, ...] = (
-    FuzzRegression(
-        name="buffered-pump-missed-leak",
-        campaign_seed=1,
-        index=12,
-        motifs=(
-            MotifSpec(
-                template="bmocc_s3_pump",
-                uid="M0",
-                placement=NESTED,
-                mutations=("buffer-grow",),
-                arg=2,
-            ),
-        ),
-        classification="dynamic-only",
-        diagnosis=(
-            "BMOC models only the first blocking operation; a buffer "
-            "absorbs it and the later send that still leaks goes unchased"
-        ),
-    ),
-    FuzzRegression(
-        name="buffered-loop-missed-leak",
-        campaign_seed=4,
-        index=185,
-        motifs=(
-            MotifSpec(
-                template="bmocc_s3_loop",
-                uid="M0",
-                placement=INLINE,
-                mutations=("buffer-grow",),
-                arg=3,
-            ),
-        ),
-        classification="dynamic-only",
-        diagnosis=(
-            "same gap as buffered-pump-missed-leak via the loop variant: "
-            "the buffered first iteration hides the blocking tail"
-        ),
-    ),
     FuzzRegression(
         name="closeless-select-false-alarm",
         campaign_seed=8,
@@ -116,4 +104,61 @@ FUZZ_REGRESSIONS: Tuple[FuzzRegression, ...] = (
     ),
 )
 
+CLOSED_REGRESSIONS: Tuple[ClosedRegression, ...] = (
+    ClosedRegression(
+        case=FuzzRegression(
+            name="buffered-pump-missed-leak",
+            campaign_seed=1,
+            index=12,
+            motifs=(
+                MotifSpec(
+                    template="bmocc_s3_pump",
+                    uid="M0",
+                    placement=NESTED,
+                    mutations=("buffer-grow",),
+                    arg=2,
+                ),
+            ),
+            classification="dynamic-only",
+            diagnosis=(
+                "BMOC modeled only the first blocking operation; a buffer "
+                "absorbed it and the later send that still leaks went "
+                "unchased"
+            ),
+        ),
+        resolved_bucket="agree",
+        resolution=(
+            "repeatable-send blocking rule: a cut-path send carries its "
+            "remaining trip-count attempts, so attempts > BS - CB flags "
+            "the sends the buffer was absorbing"
+        ),
+    ),
+    ClosedRegression(
+        case=FuzzRegression(
+            name="buffered-loop-missed-leak",
+            campaign_seed=4,
+            index=185,
+            motifs=(
+                MotifSpec(
+                    template="bmocc_s3_loop",
+                    uid="M0",
+                    placement=INLINE,
+                    mutations=("buffer-grow",),
+                    arg=3,
+                ),
+            ),
+            classification="dynamic-only",
+            diagnosis=(
+                "same gap as buffered-pump-missed-leak via the loop "
+                "variant: the buffered first iteration hid the blocking "
+                "tail"
+            ),
+        ),
+        resolved_bucket="agree",
+        resolution="closed by the same repeatable-send blocking rule",
+    ),
+)
+
 REGRESSIONS_BY_NAME = {case.name: case for case in FUZZ_REGRESSIONS}
+
+CLOSED_BY_NAME = {closed.case.name: closed for closed in CLOSED_REGRESSIONS}

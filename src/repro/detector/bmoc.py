@@ -23,6 +23,7 @@ from repro.analysis.dependency import build_dependency_graph, compute_pset
 from repro.analysis.primitives import Primitive, find_primitives
 from repro.analysis.scope import Scope, compute_all_scopes
 from repro.constraints.encoding import StopPoint, encode
+from repro.constraints.session import DEFAULT_SOLVER_MODE, SOLVER_MODES, SolverSession
 from repro.constraints.solver import TIMEOUT, solve_detailed
 from repro.obs import (
     NULL,
@@ -40,6 +41,7 @@ from repro.detector.paths import (
     PathCombination,
     PathEnumerator,
     SelectChoice,
+    _definition_counts,
     enumerate_combinations,
 )
 from repro.detector.reporting import BlockedOp, BugReport, dedup_reports
@@ -144,12 +146,19 @@ class BMOCDetector:
         prune_infeasible: bool = True,
         collector=None,
         solver_max_nodes: Optional[int] = None,
+        solver_mode: str = DEFAULT_SOLVER_MODE,
     ):
+        if solver_mode not in SOLVER_MODES:
+            raise ValueError(
+                f"unknown solver mode: {solver_mode!r} "
+                f"(valid modes: {', '.join(SOLVER_MODES)})"
+            )
         self.program = program
         self.disentangle = disentangle
         self.max_loop_unroll = max_loop_unroll
         self.prune_infeasible = prune_infeasible
         self.solver_max_nodes = solver_max_nodes
+        self.solver_mode = solver_mode
         self.collector = collector or NULL
         with self.collector.span(STAGE_CALLGRAPH):
             self.call_graph = build_call_graph(program)
@@ -160,6 +169,20 @@ class BMOCDetector:
             self.dep_graph = build_dependency_graph(program, self.call_graph, self.pmap)
         with self.collector.span(STAGE_DISENTANGLE):
             self.scopes = compute_all_scopes(self.pmap, self.call_graph)
+        # shared across channels: the program-wide definition counts every
+        # per-root PathEnumerator needs, and the per-channel Pset memo also
+        # consumed by the engine's fingerprinting pass
+        self._def_counts = _definition_counts(program)
+        self._pset_memo: Dict[int, List[Primitive]] = {}
+
+    def pset_of(self, channel: Primitive) -> List[Primitive]:
+        """The channel's Pset (paper §4.2), derived once and shared between
+        the analysis itself and the engine's shard fingerprinting."""
+        pset = self._pset_memo.get(id(channel))
+        if pset is None:
+            pset = compute_pset(channel, self.dep_graph, self.scopes)
+            self._pset_memo[id(channel)] = pset
+        return pset
 
     def for_shard(self, collector) -> "BMOCDetector":
         """A shallow clone sharing every analysis artifact but reporting
@@ -226,8 +249,13 @@ class BMOCDetector:
         and moves on to the next primitive.
         """
         reports: List[BugReport] = []
+        # one incremental solver session per primitive: all of this
+        # channel's suspicious groups solve inside it (batched mode)
+        session = (
+            SolverSession(self.collector) if self.solver_mode == "batched" else None
+        )
         try:
-            self._analyze_channel(channel, stats, reports, budget)
+            self._analyze_channel(channel, stats, reports, budget, session)
             return reports, False
         except BudgetExceeded:
             stats.analysis_timeouts += 1
@@ -241,12 +269,13 @@ class BMOCDetector:
         stats: DetectionStats,
         reports: List[BugReport],
         budget: Optional[AnalysisBudget] = None,
+        session: Optional[SolverSession] = None,
     ) -> None:
         collector = self.collector
         if self.disentangle:
             scope = self.scopes[channel]
             with collector.span(STAGE_DISENTANGLE):
-                pset = compute_pset(channel, self.dep_graph, self.scopes)
+                pset = self.pset_of(channel)
             roots = self._roots_for(channel, scope)
             scope_functions = scope.functions
         else:
@@ -270,6 +299,7 @@ class BMOCDetector:
                 max_loop_unroll=self.max_loop_unroll,
                 prune_infeasible=self.prune_infeasible,
                 collector=collector if collector else None,
+                def_counts=self._def_counts,
             )
             with collector.span(STAGE_PATH_ENUM):
                 combos = enumerate_combinations(enumerator, root)
@@ -280,7 +310,9 @@ class BMOCDetector:
                 if budget is not None:
                     budget.check()
                 reports.extend(
-                    self._check_combination(channel, combo, scope_functions, stats, budget)
+                    self._check_combination(
+                        channel, combo, scope_functions, stats, budget, session
+                    )
                 )
 
     def _roots_for(self, channel: Primitive, scope: Scope) -> List[str]:
@@ -296,6 +328,7 @@ class BMOCDetector:
         scope_functions,
         stats: DetectionStats,
         budget: Optional[AnalysisBudget] = None,
+        session: Optional[SolverSession] = None,
     ) -> List[BugReport]:
         collector = self.collector
         reports: List[BugReport] = []
@@ -312,14 +345,17 @@ class BMOCDetector:
                 max_nodes = budget.per_solve_nodes() or self.solver_max_nodes
             stats.groups_checked += 1
             maybe_fault(STAGE_ENCODE, str(channel.site))
-            with collector.span(STAGE_ENCODE):
-                system = encode(combo, group, collector if collector else None)
             stats.solver_calls += 1
             maybe_fault(STAGE_SOLVE, str(channel.site))
-            with collector.span(STAGE_SOLVE):
-                outcome = solve_detailed(
-                    system, collector if collector else None, max_nodes=max_nodes
-                )
+            if session is not None:
+                outcome = session.solve_group(combo, group, max_nodes=max_nodes)
+            else:
+                with collector.span(STAGE_ENCODE):
+                    system = encode(combo, group, collector if collector else None)
+                with collector.span(STAGE_SOLVE):
+                    outcome = solve_detailed(
+                        system, collector if collector else None, max_nodes=max_nodes
+                    )
             if budget is not None:
                 budget.charge(outcome.nodes)
             if outcome.outcome == TIMEOUT:
@@ -409,6 +445,7 @@ def detect_bmoc(
     max_loop_unroll: int = 2,
     prune_infeasible: bool = True,
     collector=None,
+    solver_mode: str = DEFAULT_SOLVER_MODE,
 ) -> DetectionResult:
     """Convenience wrapper: run the BMOC detector over a program."""
     return BMOCDetector(
@@ -417,4 +454,5 @@ def detect_bmoc(
         max_loop_unroll=max_loop_unroll,
         prune_infeasible=prune_infeasible,
         collector=collector,
+        solver_mode=solver_mode,
     ).detect()

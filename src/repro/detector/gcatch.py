@@ -115,6 +115,22 @@ def resolve_max_retries(max_retries: Optional[int] = None) -> int:
         return 1
 
 
+def resolve_solver_mode(solver_mode: Optional[str] = None) -> str:
+    """Explicit ``solver_mode`` beats ``REPRO_SOLVER_MODE`` beats batched.
+
+    Unknown names raise immediately with the valid set — a typo'd mode
+    would otherwise silently analyze with the wrong pipeline.
+    """
+    from repro.constraints.session import DEFAULT_SOLVER_MODE, SOLVER_MODES
+
+    mode = solver_mode or os.environ.get("REPRO_SOLVER_MODE") or DEFAULT_SOLVER_MODE
+    if mode not in SOLVER_MODES:
+        raise ValueError(
+            f"unknown solver mode: {mode!r} (valid modes: {', '.join(SOLVER_MODES)})"
+        )
+    return mode
+
+
 def resolve_checkers(checkers=None) -> Optional[List[str]]:
     """Explicit ``checkers`` beats ``REPRO_CHECKERS`` beats all (None).
 
@@ -164,6 +180,7 @@ def run_gcatch(
     max_retries: Optional[int] = None,
     retry_timeouts: bool = False,
     checkers=None,
+    solver_mode: Optional[str] = None,
 ) -> GCatchResult:
     """Run the complete GCatch pipeline over a lowered program.
 
@@ -187,6 +204,7 @@ def run_gcatch(
     resolved_backend = backend or os.environ.get("REPRO_BACKEND") or "thread"
     resolved_retries = resolve_max_retries(max_retries)
     resolved_checkers = resolve_checkers(checkers)
+    resolved_solver_mode = resolve_solver_mode(solver_mode)
     if (
         resolved_jobs > 1
         or cache is not None
@@ -202,6 +220,7 @@ def run_gcatch(
             cache=cache,
             budget_wall_seconds=budget_wall_seconds,
             budget_solver_nodes=budget_solver_nodes,
+            solver_mode=resolved_solver_mode,
             disentangle=disentangle,
             checkers=resolved_checkers,
             max_retries=resolved_retries,
@@ -217,7 +236,12 @@ def run_gcatch(
     start = time.perf_counter()
     with obs.span("gcatch"):
         prepared = firewall.call(
-            lambda: BMOCDetector(program, disentangle=disentangle, collector=obs),
+            lambda: BMOCDetector(
+                program,
+                disentangle=disentangle,
+                collector=obs,
+                solver_mode=resolved_solver_mode,
+            ),
             site="detect-init",
             label=program.filename or "",
         )

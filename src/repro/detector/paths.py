@@ -122,10 +122,17 @@ PathEvent = object  # union of the event classes above
 
 @dataclass(eq=False)
 class Path:
-    """One enumerated execution path of one goroutine."""
+    """One enumerated execution path of one goroutine.
+
+    ``cut`` marks a path the enumerator truncated at the loop-unroll limit:
+    the real execution keeps iterating past the recorded prefix. The
+    encoder uses it to model *repeatable* operations inside the cut loop
+    (a send that will be attempted again on every further iteration).
+    """
 
     function: str
     events: List[PathEvent] = field(default_factory=list)
+    cut: bool = False
 
     def op_events(self) -> List[OpEvent]:
         out: List[OpEvent] = []
@@ -180,6 +187,7 @@ class PathEnumerator:
         max_loop_unroll: int = MAX_LOOP_UNROLL,
         prune_infeasible: bool = True,
         collector=None,
+        def_counts: Optional[Dict[str, int]] = None,
     ):
         self.collector = collector
         self.program = program
@@ -195,7 +203,11 @@ class PathEnumerator:
             op.function for prim in pset for op in prim.operations if op.kind != "create"
         }
         self.relevant_functions = transitive_touchers(call_graph, direct)
-        self._def_counts = _definition_counts(program)
+        # program-wide, so the detector computes it once and shares it
+        # across the per-root enumerators of every channel
+        self._def_counts = (
+            def_counts if def_counts is not None else _definition_counts(program)
+        )
         self._prim_by_site = {p.site: p for p in pmap}
 
     # -- public ---------------------------------------------------------------
@@ -315,7 +327,7 @@ class PathEnumerator:
             # unroll limit reached: emit the path as enumerated so far.
             # Deferred operations are NOT appended — the path never returns.
             if len(out) < MAX_PATHS_PER_GOROUTINE:
-                out.append(Path(call_stack[0], list(events)))
+                out.append(Path(call_stack[0], list(events), cut=True))
             return
         new_visits = dict(visits)
         new_visits[block.id] = count + 1

@@ -86,6 +86,7 @@ class EngineConfig:
     budget_wall_seconds: Optional[float] = None  # per primitive
     budget_solver_nodes: Optional[int] = None  # per primitive, across solves
     solver_max_nodes: Optional[int] = None  # per individual solve
+    solver_mode: str = "batched"  # 'batched' (SolverSession) | 'classic'
     disentangle: bool = True
     max_loop_unroll: int = 2
     prune_infeasible: bool = True
@@ -388,6 +389,7 @@ class DetectionEngine:
             prune_infeasible=cfg.prune_infeasible,
             collector=self.collector,
             solver_max_nodes=cfg.solver_max_nodes,
+            solver_mode=cfg.solver_mode,
         )
         self._plan_shards()
 
@@ -423,14 +425,14 @@ class DetectionEngine:
             self._fingerprint_shards()
 
     def _fingerprint_shards(self) -> None:
-        from repro.analysis.dependency import compute_pset
-
         cfg = self.config
         digests = ProgramDigests(self.program)
         detector = self.detector
         for index, channel in enumerate(self._channels):
             if cfg.disentangle:
-                pset = compute_pset(channel, detector.dep_graph, detector.scopes)
+                # the detector's Pset memo: computed once, shared with the
+                # analysis itself instead of re-derived for fingerprinting
+                pset = detector.pset_of(channel)
                 scope_functions = detector.scopes[channel].functions
             else:
                 pset = [p for p in detector.pmap if p.site.kind != "ctxdone"]
@@ -444,6 +446,7 @@ class DetectionEngine:
                 max_loop_unroll=cfg.max_loop_unroll,
                 prune_infeasible=cfg.prune_infeasible,
                 solver_max_nodes=cfg.solver_max_nodes,
+                solver_mode=cfg.solver_mode,
             )
         for index in range(len(self._channels), len(self._shards)):
             info = self._shards[index]

@@ -101,13 +101,16 @@ class TestBuckets:
 
 
 class TestKnownFindings:
-    """The two detector-gap shapes the hunt surfaced (see
+    """The detector-gap shapes the hunt surfaced (see
     repro.corpus.regressions for their checked-in minimal forms)."""
 
-    def test_buffered_pump_is_a_dynamic_only_finding(self):
+    def test_buffered_pump_finding_is_closed(self):
+        """Once a dynamic-only FN (the hunt's buffered multi-op shape);
+        the repeatable-send rule now sees the leak, so the oracles agree
+        on the very program that surfaced the gap."""
         triage = triage_program(generate_program(3, 153))
-        assert triage.bucket == BUCKET_UNEXPLAINED
-        assert triage.classification == "dynamic-only"
+        assert triage.bucket == "agree"
+        assert triage.classification == "agree-bug"
         assert "bmocc_s3_pump" in triage.templates
         assert "M0:buffer-grow" in triage.mutations
 
@@ -152,16 +155,28 @@ class TestCrashIsolation:
 
 class TestMinimizer:
     def test_shrinks_to_the_single_culprit_motif(self):
-        program = generate_program(3, 153)  # 4 motifs, 2 mutations
+        program = generate_program(5, 88)  # 4 motifs, one mutated 3 ways
         reference = triage_program(program)
         minimal = minimize_program(program, reference)
         assert len(minimal.motifs) == 1
-        assert minimal.motifs[0].template == "bmocc_s3_pump"
-        assert minimal.motifs[0].mutations == ("buffer-grow",)
+        assert minimal.motifs[0].template == "bmocc_s1_race"
+        assert minimal.motifs[0].mutations == ("drop-close",)
         # the minimal recipe still reproduces the finding
         again = triage_program(minimal)
         assert again.bucket == reference.bucket
         assert again.classification == reference.classification
+
+    def test_closed_gap_program_shrinks_past_its_old_culprit(self):
+        """(3, 153) used to shrink to pump+buffer-grow — the exact recipe
+        that needed the buffered-send rule. With the gap closed even the
+        unmutated pump is an agreed bug, so the minimizer sheds the
+        mutation too."""
+        program = generate_program(3, 153)
+        reference = triage_program(program)
+        assert reference.bucket == BUCKET_AGREE
+        minimal = minimize_program(program, reference)
+        assert [m.template for m in minimal.motifs] == ["bmocc_s3_pump"]
+        assert minimal.motifs[0].mutations == ()
 
     def test_already_minimal_recipe_is_a_fixpoint(self):
         program = generate_program(8, 137)  # 1 motif, 1 mutation
@@ -211,12 +226,12 @@ class TestFuzzCommand:
 
     def test_minimize_flag_dumps_the_shrunk_recipe(self, tmp_path, capsys):
         code = main([
-            "fuzz", "--seed", "3", "--only", "153", "--minimize",
+            "fuzz", "--seed", "5", "--only", "88", "--minimize",
             "--dump-dir", str(tmp_path),
         ])
         assert code == 1
-        text = (tmp_path / "fuzz-s3-p153.go").read_text()
-        assert "// recipe: bmocc_s3_pump[M0 spawn buffer-grow]" in text
+        text = (tmp_path / "fuzz-s5-p88.go").read_text()
+        assert "// recipe: bmocc_s1_race[M3 inline drop-close]" in text
 
     def test_campaign_crash_exits_with_incident_code(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "fuzz-program@fuzz-s0-p1:raise")

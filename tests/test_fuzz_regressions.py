@@ -1,6 +1,6 @@
 """The checked-in fuzz findings (repro.corpus.regressions).
 
-Two layers per regression:
+Two layers per *open* regression:
 
 * a *lock* — today's triage must reproduce the recorded classification
   byte-for-byte from both the minimized recipe and the original
@@ -10,27 +10,42 @@ Two layers per regression:
   Fixing the underlying BMOC gap flips the xfail to XPASS, fails the
   run, and forces the fixed case to be retired from the corpus — the
   regress half of the seed→minimize→regress workflow.
+
+*Closed* regressions flip that contract: the oracles must now agree on
+the very programs that once split them. The two ``buffer-grow`` false
+negatives retired by the repeatable-send blocking rule stay pinned here
+from both the minimized recipe and the raw campaign provenance.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.corpus.regressions import FUZZ_REGRESSIONS, REGRESSIONS_BY_NAME
-from repro.fuzz import BUCKET_UNEXPLAINED, generate_program, triage_program
+from repro.corpus.regressions import (
+    CLOSED_BY_NAME,
+    CLOSED_REGRESSIONS,
+    FUZZ_REGRESSIONS,
+    REGRESSIONS_BY_NAME,
+)
+from repro.diffcheck import AGREE_BUG
+from repro.fuzz import BUCKET_AGREE, BUCKET_UNEXPLAINED, generate_program, triage_program
 from repro.golang.parser import parse_file
 
 CASES = sorted(REGRESSIONS_BY_NAME)
+CLOSED_CASES = sorted(CLOSED_BY_NAME)
 
 
 def test_corpus_is_nonempty_and_uniquely_named():
     assert FUZZ_REGRESSIONS
     assert len(REGRESSIONS_BY_NAME) == len(FUZZ_REGRESSIONS)
+    assert CLOSED_REGRESSIONS
+    assert len(CLOSED_BY_NAME) == len(CLOSED_REGRESSIONS)
+    assert not set(REGRESSIONS_BY_NAME) & set(CLOSED_BY_NAME)
 
 
-@pytest.mark.parametrize("name", CASES)
+@pytest.mark.parametrize("name", CASES + CLOSED_CASES)
 def test_minimized_recipe_renders_and_parses(name):
-    case = REGRESSIONS_BY_NAME[name]
+    case = REGRESSIONS_BY_NAME.get(name) or CLOSED_BY_NAME[name].case
     program = case.program()
     parse_file(program.source, program.name + ".go")
     assert len(program.motifs) == 1  # checked-in recipes are minimal
@@ -64,3 +79,26 @@ def test_original_seed_still_reproduces(name):
 def test_desired_oracle_agreement(name):
     case = REGRESSIONS_BY_NAME[name]
     assert case.triage().bucket != BUCKET_UNEXPLAINED
+
+
+@pytest.mark.parametrize("name", CLOSED_CASES)
+def test_closed_gap_stays_closed(name):
+    """A retired gap's minimized recipe now triages to agreement: the
+    repeatable-send rule sees the leak the dynamic oracle always saw."""
+    closed = CLOSED_BY_NAME[name]
+    triage = closed.case.triage()
+    assert triage.bucket == closed.resolved_bucket == BUCKET_AGREE
+    assert triage.classification == AGREE_BUG
+    assert triage.classification != closed.case.classification  # the old verdict
+
+
+@pytest.mark.parametrize("name", CLOSED_CASES)
+def test_closed_gap_original_seed_agrees(name):
+    """The raw campaign program behind a retired case agrees too — the
+    fix holds on the unminimized program, not just the shrunk recipe."""
+    closed = CLOSED_BY_NAME[name]
+    triage = triage_program(
+        generate_program(closed.case.campaign_seed, closed.case.index)
+    )
+    assert triage.bucket == BUCKET_AGREE
+    assert triage.classification == AGREE_BUG

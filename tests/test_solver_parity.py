@@ -1,0 +1,112 @@
+"""Solver-mode parity: batched sessions must reproduce classic solving.
+
+``--solver-mode batched`` routes every (combination, suspicious group)
+decision through one :class:`repro.constraints.session.SolverSession`
+per primitive — interned structures, a verdict memo, push/pop group
+scopes — while ``classic`` encodes and solves each group from scratch.
+The guarantee that makes the session a pure performance knob: **byte
+identical** reports. Every case in the evaluation bug set is detected
+under both modes and compared down to the rendered report text, the
+solver outcomes, the cost table, and the detection statistics — on the
+serial path, under the jobs=4 thread engine, and under the fork-based
+process engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.bugset import build_bug_set
+from repro.detector.gcatch import run_gcatch
+from repro.obs import Collector
+from repro.report.table import render_bug_costs
+from repro.ssa.builder import build_program
+
+BUG_SET = build_bug_set()
+
+
+def detect_fingerprint(program, solver_mode, **kwargs):
+    """Everything a solver-mode switch could plausibly perturb."""
+    result = run_gcatch(program, solver_mode=solver_mode, **kwargs)
+    reports = sorted(result.all_reports(), key=lambda r: r.render())
+    stats = result.bmoc.stats
+    return {
+        "renders": [r.render() for r in reports],
+        "outcomes": [r.solver_outcome for r in reports],
+        "costs": render_bug_costs(reports),
+        "stats": (
+            stats.channels_analyzed,
+            stats.combinations,
+            stats.groups_checked,
+            stats.solver_calls,
+            stats.sat_results,
+            stats.solver_timeouts,
+        ),
+    }
+
+
+@pytest.mark.parametrize("case", BUG_SET, ids=[c.case_id for c in BUG_SET])
+def test_batched_matches_classic_serial(case):
+    program = build_program(case.source, case.case_id)
+    classic = detect_fingerprint(program, "classic")
+    batched = detect_fingerprint(program, "batched")
+    assert batched == classic
+
+
+@pytest.mark.parametrize("case", BUG_SET, ids=[c.case_id for c in BUG_SET])
+def test_batched_matches_classic_sharded(case):
+    """jobs=4 through the thread engine: one session per shard, same bytes."""
+    program = build_program(case.source, case.case_id)
+    classic = detect_fingerprint(program, "classic", jobs=4)
+    batched = detect_fingerprint(program, "batched", jobs=4)
+    assert batched == classic
+
+
+def test_process_backend_parity_on_widest_case():
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("no fork on this platform")
+    case = max(BUG_SET, key=lambda c: len(c.source))
+    program = build_program(case.source, case.case_id)
+    classic = detect_fingerprint(program, "classic", jobs=2, backend="process")
+    batched = detect_fingerprint(program, "batched", jobs=2, backend="process")
+    assert batched == classic
+
+
+def test_modes_agree_on_whole_bugset_counts():
+    """Aggregate Table 1 counts are unchanged by the session."""
+    classic_total = 0
+    batched_total = 0
+    for case in BUG_SET:
+        program = build_program(case.source, case.case_id)
+        classic_total += len(
+            run_gcatch(program, solver_mode="classic").all_reports()
+        )
+        batched_total += len(
+            run_gcatch(program, solver_mode="batched").all_reports()
+        )
+    assert batched_total == classic_total
+    assert classic_total > 0
+
+
+def test_session_actually_engages():
+    """The batched run must exercise the session machinery, not bypass it:
+    across the bug set the interner and the verdict memo both fire, and the
+    batched-solve histogram records wall time."""
+    collector = Collector("solver-parity")
+    for case in BUG_SET:
+        program = build_program(case.source, case.case_id)
+        run_gcatch(program, collector=collector, solver_mode="batched")
+    assert collector.counters.get("solver.intern.hit", 0) > 0
+    assert collector.counters.get("solver.session.reuse", 0) > 0
+    assert "solver.batched.seconds" in collector.dists
+
+
+def test_classic_never_touches_session_counters():
+    collector = Collector("solver-parity-classic")
+    for case in BUG_SET[::5]:
+        program = build_program(case.source, case.case_id)
+        run_gcatch(program, collector=collector, solver_mode="classic")
+    assert "solver.session.reuse" not in collector.counters
+    assert "solver.intern.hit" not in collector.counters
