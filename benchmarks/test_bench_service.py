@@ -163,3 +163,108 @@ def test_service_amortizes_cold_start(benchmark):
     with open(ARTIFACT, "w") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+# -- overload behavior under a multi-tenant burst ---------------------------
+
+BUGGY_SNIPPET = (
+    "package main\n\nfunc main() {\n\tch := make(chan int)\n"
+    "\tgo func() {\n\t\tch <- 1\n\t}()\n}\n"
+)
+
+
+def test_service_overload_shedding(tmp_path_factory):
+    """Experiment E-service-overload: a 200-request burst from three
+    tenants against a bounded queue and per-tenant quotas. Measures the
+    shed rate and the per-tenant served p95, and appends both to the
+    ``BENCH_service.json`` artifact."""
+    from repro.obs import summarize
+    from repro.service import Request
+
+    root = tmp_path_factory.mktemp("bench-overload")
+    paths = {}
+    for tenant in ("default", "t1", "t2"):
+        d = root / tenant
+        d.mkdir()
+        (d / "main.go").write_text(BUGGY_SNIPPET)
+        paths[tenant] = str(d / "main.go")
+    journal_path = str(root / "journal.jsonl")
+    service = AnalysisService(
+        paths["default"],
+        workers=2,
+        max_queue=16,
+        quota=40.0,
+        quota_burst=20.0,
+        journal_path=journal_path,
+    ).start()
+    try:
+        for tenant in ("t1", "t2"):
+            response = service.call("register", {"tenant": tenant, "path": paths[tenant]})
+            assert "error" not in response, response
+        service.call("detect")  # warm the shared cache once
+        start = time.perf_counter()
+        futures = [
+            service.queue.submit(
+                Request(id=i, method="detect", tenant=("default", "t1", "t2")[i % 3])
+            )
+            for i in range(200)
+        ]
+        served = shed = 0
+        for future in futures:
+            response = future.result(timeout=120)
+            if "result" in response:
+                served += 1
+            else:
+                assert response["error"]["code"] in (-32002, -32003), response
+                shed += 1
+        elapsed = time.perf_counter() - start
+        health = service.call("health")["result"]
+    finally:
+        service.stop()
+
+    assert served + shed == 200
+    assert served > 0 and shed > 0  # the burst genuinely overloads
+    assert health["health"] == "ok"  # shedding is not an incident
+
+    records = [r for r in service.journal.read() if r["method"] == "detect"]
+    assert len(records) == 201  # warmup + every burst request journaled
+    summary = summarize(records)
+    by_tenant = {
+        tenant: {
+            "served": per["served"],
+            "sheds": per["sheds"],
+            "p95_seconds": round(per["p95_seconds"] or 0.0, 4),
+            "queue_wait_p95_seconds": round(per["queue_wait_p95_seconds"] or 0.0, 4),
+        }
+        for tenant, per in summary["by_tenant"].items()
+    }
+    record_report(
+        f"Service overload burst (200 requests / 3 tenants: {served} served, "
+        f"{shed} shed in {elapsed:.2f}s)",
+        render_simple(
+            ["tenant", "served", "shed", "p95 (ms)"],
+            [
+                [t, str(v["served"]), str(v["sheds"]), f"{v['p95_seconds'] * 1000:.1f}"]
+                for t, v in sorted(by_tenant.items())
+            ],
+        ),
+    )
+
+    try:
+        with open(ARTIFACT) as handle:
+            artifact = json.load(handle)
+    except (OSError, ValueError):
+        artifact = {"bench": "service"}
+    artifact["overload"] = {
+        "burst_requests": 200,
+        "workers": 2,
+        "max_queue": 16,
+        "served": served,
+        "sheds": shed,
+        "shed_rate": round(summary["shed_rate"], 4),
+        "burst_seconds": round(elapsed, 3),
+        "by_tenant": by_tenant,
+    }
+    with open(ARTIFACT, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -466,6 +466,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             journal_max_bytes=args.journal_max_bytes,
             journal_max_files=args.journal_max_files,
             slow_threshold_seconds=args.slow_threshold,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            tenant_max_queue=args.tenant_max_queue,
+            quota=args.quota,
+            quota_burst=args.quota_burst,
             **_service_kwargs(args),
         ).start()
     except (OSError, UnicodeDecodeError) as exc:
@@ -519,7 +524,12 @@ def cmd_client(args: argparse.Namespace) -> int:
         params["deadline_seconds"] = args.deadline
     try:
         with ServiceClient(host=args.host, port=args.port) as client:
-            response = client.call(args.method, params)
+            response = client.call(
+                args.method,
+                params,
+                tenant=args.tenant or "default",
+                priority=args.priority,
+            )
     except ServiceConnectionError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -548,7 +558,7 @@ def cmd_top(args: argparse.Namespace) -> int:
     daemon's telemetry journal (works on a stopped daemon's journal too)."""
     import os
 
-    from repro.obs import TelemetryJournal, render_top, summarize
+    from repro.obs import TelemetryJournal, filter_records, render_top, summarize
 
     path = _journal_path(args)
     if not path:
@@ -562,7 +572,7 @@ def cmd_top(args: argparse.Namespace) -> int:
         print(f"repro top: journal {path} does not exist", file=sys.stderr)
         return 2
     journal = TelemetryJournal(path, max_files=args.journal_max_files)
-    records = journal.read(last=args.last)
+    records = filter_records(journal.read(last=args.last), tenant=args.tenant)
     if args.json:
         summary = summarize(records)
         summary["latency"] = summary["latency"].to_dict()
@@ -804,6 +814,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slow-threshold", type=float, default=5.0,
                    help="requests slower than this many seconds capture a "
                         "full span-tree exemplar (default: 5.0)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="analysis worker pool size; tenants run "
+                        "concurrently, one tenant's requests never do "
+                        "(default: 2)")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="global queued-request bound: excess requests are "
+                        "shed with OVERLOADED instead of queued "
+                        "(default: unbounded)")
+    p.add_argument("--tenant-max-queue", type=int, default=None,
+                   help="per-tenant queued-request bound (default: unbounded)")
+    p.add_argument("--quota", type=float, default=None, metavar="RATE",
+                   help="per-tenant token-bucket quota in requests/second; "
+                        "excess is shed with QUOTA_EXCEEDED + retry_after "
+                        "(default: no quota)")
+    p.add_argument("--quota-burst", type=float, default=None,
+                   help="token-bucket size (default: max(quota, 1))")
     _add_service_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -823,6 +849,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rotation depth to scan (default: 3)")
     p.add_argument("--last", type=int, default=None, metavar="N",
                    help="only the most recent N records")
+    p.add_argument("--tenant", default=None,
+                   help="only records for this tenant (records from "
+                        "before multi-tenancy count as 'default')")
     p.add_argument("--json", action="store_true",
                    help="emit the aggregates as JSON")
     p.set_defaults(func=cmd_top)
@@ -830,13 +859,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("client", help="send one request to a running daemon")
     p.add_argument("method", help="detect | fix | stats | metrics | "
                                   "metrics_text | health | refresh | ping | "
-                                  "shutdown")
+                                  "register | tenants | shutdown")
     p.add_argument("--port", type=int, required=True)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--params", default=None, metavar="JSON",
                    help="request params as a JSON object")
     p.add_argument("--deadline", type=float, default=None,
                    help="per-request deadline in seconds (expires in queue)")
+    p.add_argument("--tenant", default=None,
+                   help="address a registered tenant (default: the "
+                        "daemon's own project)")
+    p.add_argument("--priority", choices=["high", "normal", "low"],
+                   default="normal",
+                   help="scheduling class (low is shed first under "
+                        "degraded health)")
     p.set_defaults(func=cmd_client)
 
     p = sub.add_parser("nonblocking", help="send-on-closed / double-close detection")

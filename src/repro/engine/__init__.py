@@ -7,7 +7,7 @@ See :mod:`repro.engine.engine` for the sharding/orchestration model,
 cache probe runs behind.
 """
 
-from repro.engine.cache import CachedShard, ResultCache, cache_from_env
+from repro.engine.cache import CachedShard, CacheView, ResultCache, cache_from_env
 from repro.engine.engine import (
     TRADITIONAL_CHECKERS,
     DetectionEngine,
@@ -31,6 +31,7 @@ from repro.engine.invalidate import (
 
 __all__ = [
     "CachedShard",
+    "CacheView",
     "DetectionEngine",
     "ENGINE_VERSION",
     "EngineConfig",

@@ -35,6 +35,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -76,6 +77,9 @@ class ResultCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._memory: Dict[str, CachedShard] = {}
+        # the multi-tenant daemon shares one cache across worker threads,
+        # so the accounting (not just the dict) must be race-free
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.corrupt = 0  # quarantined entries (deleted on first contact)
@@ -88,19 +92,22 @@ class ResultCache:
             # injected corruption: drop any live copy and quarantine disk
             before = self.corrupt
             self._quarantine(key)
-            if self._memory.pop(key, None) is not None and self.corrupt == before:
-                self.corrupt += 1
-            self.misses += 1
+            dropped = self._memory.pop(key, None) is not None
+            with self._lock:
+                if dropped and self.corrupt == before:
+                    self.corrupt += 1
+                self.misses += 1
             return None
         entry = self._memory.get(key)
         if entry is None and self.path is not None:
             entry = self._load(key)
             if entry is not None:
                 self._memory[key] = entry
-        if entry is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return entry
 
     def put(self, key: str, entry: CachedShard) -> None:
@@ -154,7 +161,8 @@ class ResultCache:
             os.unlink(self._entry_path(key))
         except OSError:
             return
-        self.corrupt += 1
+        with self._lock:
+            self.corrupt += 1
 
     def _store(self, key: str, entry: CachedShard) -> None:
         target = self._entry_path(key)
@@ -210,7 +218,49 @@ class ResultCache:
                 continue
             count -= 1
             total -= size
-            self.evicted += 1
+            with self._lock:
+                self.evicted += 1
+
+
+class CacheView:
+    """A per-request window onto a shared :class:`ResultCache`.
+
+    The multi-tenant daemon serves requests from several worker threads
+    against *one* cache (cross-tenant sharing is the point: fingerprints
+    are content-addressed, so identical code keys identical entries).
+    That makes "cache hits during *this* request" impossible to compute
+    from the shared counters — a concurrent tenant's traffic would leak
+    into the before/after delta. A view forwards ``get``/``put`` to the
+    shared cache, counting hits and misses locally; the engine sees a
+    cache, the request sees its own accounting.
+    """
+
+    def __init__(self, cache: ResultCache):
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[CachedShard]:
+        entry = self.cache.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CachedShard) -> None:
+        self.cache.put(key, entry)
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    @property
+    def corrupt(self) -> int:
+        return self.cache.corrupt
+
+    @property
+    def evicted(self) -> int:
+        return self.cache.evicted
 
 
 def _env_int(name: str) -> Optional[int]:

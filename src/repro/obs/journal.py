@@ -1,9 +1,11 @@
 """The persistent telemetry journal and the ``repro top`` view.
 
 The analysis daemon appends **one JSONL record per request** — trace id,
-method, queue wait, end-to-end latency, per-stage totals, cache lineage,
-incident count, outcome, and (for slow requests) the full span-tree
-exemplar — so "which request was slow, where, and why" is answerable
+method, tenant, queue wait, end-to-end latency, per-stage totals, cache
+lineage, incident count, outcome (including ``overloaded``/``quota`` for
+shed requests: the journal records every outcome, served or not), and
+(for slow requests) the full span-tree exemplar — so "which request was
+slow, where, and why" is answerable
 after the daemon restarts, after the client disconnected, and across
 daemon generations. ``repro top`` renders throughput, latency
 percentiles, cache hit rate and incident rate from the journal alone.
@@ -102,6 +104,11 @@ class TelemetryJournal:
         return records
 
 
+#: journal outcomes for requests answered by admission/scheduling instead
+#: of a handler (the daemon records every outcome, served or shed)
+SHED_OUTCOMES = ("overloaded", "quota")
+
+
 def request_record(
     *,
     trace_id: str,
@@ -109,6 +116,8 @@ def request_record(
     outcome: str,
     elapsed_seconds: float,
     queue_wait_seconds: float = 0.0,
+    tenant: Optional[str] = None,
+    priority: Optional[str] = None,
     code: Optional[int] = None,
     reports: Optional[int] = None,
     generation: Optional[int] = None,
@@ -128,6 +137,10 @@ def request_record(
         "queue_wait_seconds": round(queue_wait_seconds, 6),
         "incidents": incidents,
     }
+    if tenant is not None:
+        record["tenant"] = tenant
+    if priority is not None and priority != "normal":
+        record["priority"] = priority
     if code is not None:
         record["code"] = code
     if reports is not None:
@@ -145,12 +158,23 @@ def request_record(
     return record
 
 
+def filter_records(
+    records: List[dict], tenant: Optional[str] = None
+) -> List[dict]:
+    """Journal-record filter for ``repro top --tenant``. Records written
+    before multi-tenancy carry no tenant field and count as 'default'."""
+    if tenant is None:
+        return records
+    return [r for r in records if str(r.get("tenant", "default")) == tenant]
+
+
 def summarize(records: List[dict]) -> dict:
     """The ``repro top`` aggregates, as plain data (rendered below,
     asserted in tests, reusable by dashboards)."""
     latency, queue_wait = Dist(), Dist()
     methods: Dict[str, int] = {}
-    errors = incidents = slow = 0
+    tenants: Dict[str, dict] = {}
+    errors = incidents = slow = sheds = 0
     hits = misses = 0
     first_ts = last_ts = None
     for record in records:
@@ -159,8 +183,32 @@ def summarize(records: List[dict]) -> dict:
         queue_wait.add(float(record.get("queue_wait_seconds", 0.0)))
         method = str(record.get("method", "?"))
         methods[method] = methods.get(method, 0) + 1
-        if record.get("outcome") != "ok":
+        outcome = record.get("outcome")
+        shed = outcome in SHED_OUTCOMES
+        if shed:
+            sheds += 1
+        elif outcome != "ok":
             errors += 1
+        tenant = str(record.get("tenant", "default"))
+        per = tenants.get(tenant)
+        if per is None:
+            per = tenants[tenant] = {
+                "requests": 0,
+                "served": 0,
+                "sheds": 0,
+                "errors": 0,
+                "latency": Dist(),
+                "queue_wait": Dist(),
+            }
+        per["requests"] += 1
+        if shed:
+            per["sheds"] += 1
+        else:
+            per["served"] += 1
+            per["latency"].add(seconds)
+            per["queue_wait"].add(float(record.get("queue_wait_seconds", 0.0)))
+            if outcome != "ok":
+                per["errors"] += 1
         incidents += int(record.get("incidents", 0) or 0)
         slow += 1 if record.get("slow") else 0
         cache = record.get("cache") or {}
@@ -175,6 +223,19 @@ def summarize(records: List[dict]) -> dict:
     slowest = sorted(
         records, key=lambda r: float(r.get("elapsed_seconds", 0.0)), reverse=True
     )[:5]
+    by_tenant = {
+        tenant: {
+            "requests": per["requests"],
+            "served": per["served"],
+            "sheds": per["sheds"],
+            "errors": per["errors"],
+            "throughput_rps": per["requests"] / window if window > 0 else None,
+            "p50_seconds": per["latency"].p50,
+            "p95_seconds": per["latency"].p95,
+            "queue_wait_p95_seconds": per["queue_wait"].p95,
+        }
+        for tenant, per in tenants.items()
+    }
     return {
         "requests": len(records),
         "window_seconds": window,
@@ -182,9 +243,12 @@ def summarize(records: List[dict]) -> dict:
         "latency": latency,
         "queue_wait": queue_wait,
         "by_method": methods,
+        "by_tenant": by_tenant,
         "error_rate": errors / len(records) if records else 0.0,
         "incident_rate": incidents / len(records) if records else 0.0,
         "slow_requests": slow,
+        "sheds": sheds,
+        "shed_rate": sheds / len(records) if records else 0.0,
         "cache_hit_rate": hits / probes if probes else None,
         "slowest": [
             {
@@ -228,6 +292,7 @@ def render_top(records: List[dict], title: str = "repro top") -> str:
             else f"{summary['cache_hit_rate']:.0%}",
         ],
         ["error rate", f"{summary['error_rate']:.0%}"],
+        ["shed rate", f"{summary['shed_rate']:.0%} ({summary['sheds']})"],
         ["incidents / request", f"{summary['incident_rate']:.2f}"],
         ["slow requests", str(summary["slow_requests"])],
     ]
@@ -238,6 +303,25 @@ def render_top(records: List[dict], title: str = "repro top") -> str:
             [[m, str(n)] for m, n in sorted(summary["by_method"].items())],
         )
     )
+    by_tenant = summary["by_tenant"]
+    if len(by_tenant) > 1 or any(t != "default" for t in by_tenant):
+        blocks.append(
+            render_simple(
+                ["tenant", "requests", "req/s", "p95 (ms)", "shed"],
+                [
+                    [
+                        tenant,
+                        str(per["requests"]),
+                        "-"
+                        if per["throughput_rps"] is None
+                        else f"{per['throughput_rps']:.2f}",
+                        _ms(per["p95_seconds"]),
+                        str(per["sheds"]),
+                    ]
+                    for tenant, per in sorted(by_tenant.items())
+                ],
+            )
+        )
     blocks.append(
         render_simple(
             ["slowest", "method", "ms"],

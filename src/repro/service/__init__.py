@@ -1,16 +1,26 @@
-"""repro.service — the long-lived analysis daemon.
+"""repro.service — the long-lived, multi-tenant analysis daemon.
 
 The one-shot pipeline re-parses, re-builds SSA and re-solves from
-scratch on every invocation; this package keeps a project *resident* and
+scratch on every invocation; this package keeps projects *resident* and
 serves detect/fix/stats requests over a line-delimited JSON protocol,
-re-analyzing only what an edit invalidated:
+re-analyzing only what an edit invalidated. One daemon holds N tenants
+(registered projects) behind a pool of analysis workers with weighted
+fair scheduling, admission control and load shedding:
 
 * :mod:`repro.service.project` — per-file AST cache + function-digest
   diffing (re-parse only changed files);
+* :mod:`repro.service.tenants` — the tenant registry: N resident
+  projects keyed by tenant id (``default`` = the daemon's own project);
 * :mod:`repro.service.daemon` — the :class:`AnalysisService` core, the
   request methods, and the stdio/TCP transports;
-* :mod:`repro.service.queue` — FIFO request queue with per-request
-  deadlines, one analysis worker;
+* :mod:`repro.service.scheduler` — the worker pool behind per-tenant
+  deficit-round-robin queues with priority classes and per-request
+  deadlines;
+* :mod:`repro.service.admission` — queue-depth limits, per-tenant
+  token-bucket quotas and degraded-mode shedding (structured
+  ``OVERLOADED``/``QUOTA_EXCEEDED`` with ``retry_after``);
+* :mod:`repro.service.queue` — the PR-5 FIFO surface, now an alias for
+  the scheduler pinned to one worker;
 * :mod:`repro.service.protocol` — the wire protocol;
 * :mod:`repro.service.client` — the TCP client (``repro client``);
 * :mod:`repro.service.watch` — polling watcher + the ``repro watch``
@@ -19,9 +29,17 @@ re-analyzing only what an edit invalidated:
 Incremental invalidation itself lives with the engine
 (:mod:`repro.engine.invalidate`): the service diffs scope fingerprints,
 the engine's content-addressed cache guarantees a reused fingerprint
-would reproduce the cached result byte-for-byte.
+would reproduce the cached result byte-for-byte — which is also why the
+cache is safely *shared across tenants*.
 """
 
+from repro.service.admission import (
+    ADMISSION_EXEMPT,
+    AdmissionConfig,
+    AdmissionController,
+    Rejection,
+    TokenBucket,
+)
 from repro.service.client import (
     ServiceClient,
     ServiceConnectionError,
@@ -29,7 +47,7 @@ from repro.service.client import (
 )
 from repro.service.daemon import (
     AnalysisService,
-    ServiceError,
+    RequestContext,
     ServiceServer,
     exit_code_for,
     serve_stdio,
@@ -37,28 +55,48 @@ from repro.service.daemon import (
 )
 from repro.service.project import ProjectState, RefreshDelta, project_source_paths
 from repro.service.protocol import (
+    DEFAULT_TENANT,
     METHODS,
+    OVERLOADED,
+    PRIORITIES,
     PROTOCOL_VERSION,
+    QUOTA_EXCEEDED,
     Request,
+    ServiceError,
     decode_request,
     encode_line,
 )
 from repro.service.queue import RequestQueue
+from repro.service.scheduler import FairScheduler
+from repro.service.tenants import TenantRegistry, TenantState
 from repro.service.watch import Watcher, run_watch
 
 __all__ = [
+    "ADMISSION_EXEMPT",
+    "AdmissionConfig",
+    "AdmissionController",
     "AnalysisService",
+    "DEFAULT_TENANT",
+    "FairScheduler",
     "METHODS",
+    "OVERLOADED",
+    "PRIORITIES",
     "PROTOCOL_VERSION",
     "ProjectState",
+    "QUOTA_EXCEEDED",
     "RefreshDelta",
+    "Rejection",
     "Request",
+    "RequestContext",
     "RequestQueue",
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceError",
     "ServiceRequestError",
     "ServiceServer",
+    "TenantRegistry",
+    "TenantState",
+    "TokenBucket",
     "Watcher",
     "decode_request",
     "encode_line",

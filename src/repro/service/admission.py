@@ -1,0 +1,214 @@
+"""Admission control and load shedding for the analysis daemon.
+
+The daemon's first line of overload defense runs at *submit* time,
+before a request ever reaches the scheduler's queues. A request that
+cannot be served soon is rejected with a structured error (and a
+``retry_after`` hint) instead of growing the queue:
+
+* **global queue-depth limit** (``max_queue``): once the scheduler holds
+  this many queued requests, new analysis work is ``OVERLOADED``;
+* **per-tenant queue-depth limit** (``tenant_max_queue``): one tenant
+  cannot occupy the whole queue, regardless of the global bound;
+* **per-tenant token-bucket quota** (``quota_rate``/``quota_burst``):
+  sustained request rate above the quota is ``QUOTA_EXCEEDED``, with
+  ``retry_after`` computed from the bucket's refill rate;
+* **degraded-mode shedding**: while the daemon's health is degraded
+  (crashed requests on the ledger), low-priority analysis requests are
+  shed first so the remaining capacity serves interactive traffic.
+
+Checks run in that order — unknown tenants are rejected even earlier —
+and the *deadline always wins*: the daemon answers a request that is
+both past-deadline and sheddable with ``DEADLINE_EXCEEDED``, because
+that is the truth the caller's timeout logic needs (the shed would be
+retried; the deadline would not).
+
+Operational methods (``ping``, ``health``, ``metrics``, ``stats``,
+``shutdown``, ...) are **exempt**: an overloaded daemon must remain
+observable and stoppable, which is the whole point of shedding.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.service.protocol import OVERLOADED, QUOTA_EXCEEDED, Request
+
+#: methods admission never sheds: the daemon must stay observable,
+#: registerable and stoppable under overload
+ADMISSION_EXEMPT = frozenset(
+    {
+        "ping",
+        "health",
+        "metrics",
+        "metrics_text",
+        "stats",
+        "register",
+        "tenants",
+        "shutdown",
+    }
+)
+
+
+@dataclass
+class AdmissionConfig:
+    """The overload policy knobs (``None`` disables a check)."""
+
+    max_queue: Optional[int] = None  # global queued-request bound
+    tenant_max_queue: Optional[int] = None  # per-tenant queued bound
+    quota_rate: Optional[float] = None  # tokens/second per tenant
+    quota_burst: Optional[float] = None  # bucket size (default max(rate, 1))
+
+    def burst(self) -> float:
+        if self.quota_burst is not None:
+            return max(1.0, float(self.quota_burst))
+        return max(1.0, float(self.quota_rate or 1.0))
+
+
+@dataclass
+class Rejection:
+    """One shed decision: the wire code, a short reason tag (journal
+    ``outcome``), the human message, and the retry hint."""
+
+    code: int
+    reason: str  # 'overloaded' | 'quota'
+    message: str
+    retry_after: Optional[float] = None
+
+
+class TokenBucket:
+    """A per-tenant quota bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    The clock is injectable so tests can drain and refill
+    deterministically; the daemon uses ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = max(0.0, float(rate))
+        self.burst = max(1.0, float(burst))
+        self.clock = clock
+        self.tokens = self.burst
+        self._refilled = clock()
+
+    def take(self) -> Optional[float]:
+        """Consume one token; returns ``None`` when admitted, else the
+        seconds until the next token exists (the ``retry_after`` hint)."""
+        now = self.clock()
+        if self.rate > 0:
+            self.tokens = min(self.burst, self.tokens + (now - self._refilled) * self.rate)
+        self._refilled = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        if self.rate <= 0:
+            # a zero-rate quota admits only its initial burst; there is
+            # no refill, so the hint is just "much later"
+            return 60.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class AdmissionController:
+    """Stateful admission policy: quota buckets + a duration EWMA that
+    prices the ``retry_after`` hint for depth-based sheds."""
+
+    config: AdmissionConfig = field(default_factory=AdmissionConfig)
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        #: exponentially-weighted mean request duration, fed by the
+        #: daemon after every served request; prices depth sheds
+        self.ewma_seconds = 0.0
+        self.sheds = 0
+
+    # -- accounting ---------------------------------------------------------
+
+    def observe_duration(self, seconds: float) -> None:
+        with self._lock:
+            if self.ewma_seconds == 0.0:
+                self.ewma_seconds = seconds
+            else:
+                self.ewma_seconds += 0.2 * (seconds - self.ewma_seconds)
+
+    def _depth_hint(self, depth: int) -> float:
+        return max(0.1, (depth + 1) * self.ewma_seconds)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                rate=float(self.config.quota_rate or 0.0),
+                burst=self.config.burst(),
+                clock=self.clock,
+            )
+        return bucket
+
+    # -- the decision --------------------------------------------------------
+
+    def decide(
+        self,
+        request: Request,
+        global_depth: int,
+        tenant_depth: int,
+        degraded: bool = False,
+    ) -> Optional[Rejection]:
+        """``None`` admits; a :class:`Rejection` sheds. Depths are the
+        scheduler's *queued* counts at submit time (in-flight excluded)."""
+        if request.method in ADMISSION_EXEMPT:
+            return None
+        config = self.config
+        if degraded and request.priority == "low":
+            self._count_shed()
+            return Rejection(
+                OVERLOADED,
+                "overloaded",
+                "daemon health is degraded; low-priority requests are "
+                "shed first (retry at normal priority or later)",
+                retry_after=self._depth_hint(global_depth),
+            )
+        if config.max_queue is not None and global_depth >= config.max_queue:
+            self._count_shed()
+            return Rejection(
+                OVERLOADED,
+                "overloaded",
+                f"queue is full ({global_depth}/{config.max_queue} requests queued)",
+                retry_after=self._depth_hint(global_depth),
+            )
+        if (
+            config.tenant_max_queue is not None
+            and tenant_depth >= config.tenant_max_queue
+        ):
+            self._count_shed()
+            return Rejection(
+                OVERLOADED,
+                "overloaded",
+                f"tenant {request.tenant!r} queue is full "
+                f"({tenant_depth}/{config.tenant_max_queue} requests queued)",
+                retry_after=self._depth_hint(tenant_depth),
+            )
+        if config.quota_rate is not None:
+            with self._lock:
+                retry_after = self._bucket(request.tenant).take()
+            if retry_after is not None:
+                self._count_shed()
+                return Rejection(
+                    QUOTA_EXCEEDED,
+                    "quota",
+                    f"tenant {request.tenant!r} exceeded its quota of "
+                    f"{self.config.quota_rate:g} requests/second",
+                    retry_after=retry_after,
+                )
+        return None
+
+    def _count_shed(self) -> None:
+        with self._lock:
+            self.sheds += 1

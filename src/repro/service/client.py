@@ -10,7 +10,7 @@ from __future__ import annotations
 import socket
 from typing import Any, Dict, Optional
 
-from repro.service.protocol import Request, encode_line, is_error
+from repro.service.protocol import DEFAULT_TENANT, Request, encode_line, is_error
 
 
 class ServiceConnectionError(ConnectionError):
@@ -34,10 +34,22 @@ class ServiceClient:
             ) from exc
         self._reader = self._sock.makefile("r", encoding="utf-8")
 
-    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> dict:
+    def call(
+        self,
+        method: str,
+        params: Optional[Dict[str, Any]] = None,
+        tenant: str = DEFAULT_TENANT,
+        priority: str = "normal",
+    ) -> dict:
         """Send one request, wait for its response dict (result or error)."""
         self._next_id += 1
-        request = Request(id=self._next_id, method=method, params=params or {})
+        request = Request(
+            id=self._next_id,
+            method=method,
+            params=params or {},
+            tenant=tenant,
+            priority=priority,
+        )
         try:
             self._sock.sendall(encode_line(request.to_json()).encode("utf-8"))
             line = self._reader.readline()
@@ -52,9 +64,15 @@ class ServiceClient:
             raise ServiceConnectionError(f"malformed response: {line!r}")
         return response
 
-    def result(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+    def result(
+        self,
+        method: str,
+        params: Optional[Dict[str, Any]] = None,
+        tenant: str = DEFAULT_TENANT,
+        priority: str = "normal",
+    ) -> Any:
         """Like :meth:`call` but unwraps ``result`` and raises on ``error``."""
-        response = self.call(method, params)
+        response = self.call(method, params, tenant=tenant, priority=priority)
         if is_error(response):
             error = response["error"]
             raise ServiceRequestError(error.get("code"), error.get("message"), error)

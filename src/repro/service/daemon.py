@@ -1,31 +1,47 @@
-"""The long-lived analysis daemon.
+"""The long-lived, multi-tenant analysis daemon.
 
-One :class:`AnalysisService` owns a resident project
-(:class:`~repro.service.project.ProjectState`), a warm
-:class:`~repro.engine.cache.ResultCache`, the daemon-lifetime
-:class:`~repro.obs.Collector` and incident ledger, and a FIFO
-:class:`~repro.service.queue.RequestQueue` feeding one analysis worker.
-Transports — the stdio loop and the TCP server, both speaking the
-line-delimited protocol of :mod:`repro.service.protocol` — only enqueue
-and relay; all analysis state is single-writer.
+One :class:`AnalysisService` owns a
+:class:`~repro.service.tenants.TenantRegistry` of resident projects
+(the ``default`` tenant is the project the daemon was started with), a
+**shared** :class:`~repro.engine.cache.ResultCache` (fingerprints are
+content-addressed, so identical code across tenants warm-hits the same
+entries), the daemon-lifetime :class:`~repro.obs.Collector` and incident
+ledger, and a :class:`~repro.service.scheduler.FairScheduler` feeding a
+pool of analysis workers. Transports — the stdio loop and the TCP
+server, both speaking the line-delimited protocol of
+:mod:`repro.service.protocol` — only enqueue and relay.
 
-The serving loop of one ``detect`` request:
+Concurrency model: the scheduler never runs two requests of the *same*
+tenant at once, so each tenant's resident state
+(:class:`~repro.service.project.ProjectState`, detect fingerprints,
+health) stays single-writer; shared structures (result cache, collector
+counters/dists, incident ledger) are lock-protected. Each request runs
+against a private sub-collector whose span tree and metrics are merged
+into the daemon's collector at completion, so traces stay intact under
+``--workers N``.
 
-1. **refresh** — re-read the file set; re-parse only files whose bytes
-   changed; rebuild the program iff anything did (per-file AST cache);
-2. **analyze** — run the detection engine against the warm cache: every
-   shard whose scope fingerprint survived the edit answers from cache
-   with zero solver work, only invalidated shards re-solve;
-3. **delta** — diff the new shard fingerprints against the previous
-   request's (:func:`repro.engine.invalidate.diff_fingerprints`) so the
-   response states exactly what the edit invalidated.
+Overload semantics (see :mod:`repro.service.admission`): requests are
+admitted *under the scheduler lock* at submit time — queue-depth limits
+and per-tenant token-bucket quotas shed excess work with structured
+``OVERLOADED``/``QUOTA_EXCEEDED`` errors (plus a ``retry_after`` hint)
+instead of queueing it, degraded health sheds low-priority requests
+first, and a request that is both sheddable and past its deadline is
+answered ``DEADLINE_EXCEEDED`` (the deadline wins). Every rejection is
+journaled with its outcome, same as a served request.
+
+The serving loop of one ``detect`` request is unchanged from PR 5:
+
+1. **refresh** — re-read the tenant's file set; re-parse only files
+   whose bytes changed; rebuild the program iff anything did;
+2. **analyze** — run the detection engine against the shared warm cache:
+   every shard whose scope fingerprint survived answers from cache;
+3. **delta** — diff the new shard fingerprints against that tenant's
+   previous request.
 
 Failure semantics match the CLI's: a crash inside a request degrades
 into a structured incident on *that request's* error response (code
-``REQUEST_FAILED``) and the daemon keeps serving — a request can fail,
-the daemon cannot be crashed by one. ``health`` exposes the same
-``ok``/``degraded``/``failed`` verdict (and equivalent exit code) the
-one-shot CLI would have reported for the last analysis.
+``REQUEST_FAILED``) and the daemon keeps serving — including crashes in
+admission itself (the ``service-admission`` fault site).
 """
 
 from __future__ import annotations
@@ -35,6 +51,7 @@ import socketserver
 import threading
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.detector.gcatch import (
@@ -46,7 +63,7 @@ from repro.detector.gcatch import (
     run_gcatch,
 )
 from repro.detector.reporting import BugReport
-from repro.engine import ResultCache, diff_fingerprints
+from repro.engine import CacheView, ResultCache, diff_fingerprints
 from repro.engine.invalidate import InvalidationDelta
 from repro.obs import (
     STAGE_SERVICE_REQUEST,
@@ -60,34 +77,59 @@ from repro.obs import (
 from repro.resilience.faultinject import maybe_fault
 from repro.resilience.firewall import Firewall, RetryPolicy
 from repro.resilience.incidents import Incident, incidents_to_json
+from repro.service.admission import (
+    ADMISSION_EXEMPT,
+    AdmissionConfig,
+    AdmissionController,
+)
 from repro.service.project import ProjectState
 from repro.service.protocol import (
+    DEADLINE_EXCEEDED,
+    DEFAULT_TENANT,
     METHOD_NOT_FOUND,
     METHODS,
     INVALID_PARAMS,
+    OVERLOADED,
     PROTOCOL_VERSION,
+    QUOTA_EXCEEDED,
     REQUEST_FAILED,
+    SHUTTING_DOWN,
     ProtocolError,
     Request,
+    ServiceError,
     decode_request,
     encode_line,
     error_response,
     result_response,
 )
-from repro.service.queue import RequestQueue
+from repro.service.scheduler import FairScheduler
+from repro.service.tenants import TenantRegistry, TenantState
 
 #: daemon exit-code policy == CLI exit-code policy (tested for equality)
 from repro.cli import EXIT_INCIDENT, EXIT_TIMEOUT
 
+__all__ = [
+    "AnalysisService",
+    "RequestContext",
+    "ServiceError",
+    "ServiceServer",
+    "exit_code_for",
+    "serve_stdio",
+    "serve_tcp",
+]
 
-class ServiceError(Exception):
-    """A request-level error that is *not* a crash: wrong params, an
-    unsupported method for this project shape. Mapped to a plain protocol
-    error (no incident) and never counted against daemon health."""
+#: methods that do not address one tenant's resident state, so they are
+#: served even when the request's tenant id is not (yet) registered
+_TENANTLESS_METHODS = ("register", "tenants")
 
-    def __init__(self, code: int, message: str):
-        super().__init__(message)
-        self.code = code
+#: rejection code -> journal outcome tag
+_REJECT_OUTCOMES = {
+    OVERLOADED: "overloaded",
+    QUOTA_EXCEEDED: "quota",
+    DEADLINE_EXCEEDED: "deadline",
+    SHUTTING_DOWN: "shutdown",
+    REQUEST_FAILED: "crashed",
+}
 
 
 def exit_code_for(
@@ -118,6 +160,18 @@ def report_to_json(report: BugReport) -> dict:
     }
 
 
+@dataclass
+class RequestContext:
+    """Everything one in-flight request is allowed to touch: its tenant's
+    resident state, its private sub-collector, and its window onto the
+    shared result cache."""
+
+    request: Request
+    tenant: TenantState
+    obs: Collector
+    cache: CacheView
+
+
 class AnalysisService:
     """The resident analysis service behind every transport."""
 
@@ -140,11 +194,18 @@ class AnalysisService:
         journal_max_bytes: int = 4_000_000,
         journal_max_files: int = 3,
         slow_threshold_seconds: float = 5.0,
+        workers: int = 1,
+        max_queue: Optional[int] = None,
+        tenant_max_queue: Optional[int] = None,
+        quota: Optional[float] = None,
+        quota_burst: Optional[float] = None,
     ):
         self.collector = collector or Collector(f"serve:{path}")
-        self.state = ProjectState(path, collector=self.collector)
-        # the warm cache is the point of staying resident: its memory tier
-        # carries full-fidelity shard results from request to request
+        #: tenant id -> resident project; 'default' is the daemon's own
+        self.tenants = TenantRegistry(path, collector=self.collector)
+        # the warm cache is the point of staying resident — and it is
+        # deliberately shared across tenants: fingerprints are
+        # content-addressed, so identical code keys identical entries
         self.cache = cache or ResultCache(cache_dir)
         self.jobs = resolve_jobs(jobs)
         self.backend = backend
@@ -159,16 +220,28 @@ class AnalysisService:
             collector=self.collector,
             policy=RetryPolicy(max_retries=self.max_retries),
         )
-        self.queue = RequestQueue(self._handle, collector=self.collector)
+        self.admission = AdmissionController(
+            AdmissionConfig(
+                max_queue=max_queue,
+                tenant_max_queue=tenant_max_queue,
+                quota_rate=quota,
+                quota_burst=quota_burst,
+            )
+        )
+        self.queue = FairScheduler(
+            self._handle,
+            workers=workers,
+            collector=self.collector,
+            admit=self._admit,
+            on_reject=self._record_rejection,
+            weight_of=self.tenants.weight_of,
+        )
         self.started = time.monotonic()
         self.requests_served = 0
-        #: last detect's shard fingerprints, for the next request's delta
-        self._fingerprints: Dict[str, str] = {}
-        #: summary of the last completed analysis, behind ``health``
-        self._last: Optional[dict] = None
+        self._stats_lock = threading.Lock()
         self._shutdown = threading.Event()
         #: optional persistent telemetry journal: one JSONL record per
-        #: request, size-bounded rotation, survives restarts
+        #: request — served *or shed* — with size-bounded rotation
         self.journal: Optional[TelemetryJournal] = (
             TelemetryJournal(
                 journal_path,
@@ -183,11 +256,16 @@ class AnalysisService:
         #: most recent slow-request exemplars, newest last (also journaled)
         self.exemplars: "deque[dict]" = deque(maxlen=8)
 
+    @property
+    def state(self) -> ProjectState:
+        """The default tenant's resident project (PR-5 compatibility)."""
+        return self.tenants.default.state
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "AnalysisService":
-        """Load the project and start the worker; raises on a project
-        that cannot even be loaded (there is nothing to serve)."""
+        """Load the default project and start the workers; raises on a
+        project that cannot even be loaded (there is nothing to serve)."""
         self.state.load()
         self.queue.start()
         return self
@@ -205,21 +283,124 @@ class AnalysisService:
         method: str,
         params: Optional[dict] = None,
         deadline_seconds: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
+        priority: str = "normal",
     ) -> dict:
-        """In-process convenience: one request through the real queue."""
+        """In-process convenience: one request through the real scheduler."""
         request = Request(
             id=None,
             method=method,
             params=params or {},
             deadline_seconds=deadline_seconds,
+            tenant=tenant,
+            priority=priority,
         )
         return self.queue.call(request)
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit(
+        self, request: Request, global_depth: int, tenant_depth: int
+    ) -> Optional[dict]:
+        """The scheduler's submit-time hook (runs under its lock, so
+        depth checks are exact). ``None`` admits; a response dict sheds."""
+        started = time.monotonic()
+        label = f"{request.tenant}:{request.method}"
+        if (
+            request.method in METHODS
+            and request.method not in _TENANTLESS_METHODS
+            and request.tenant not in self.tenants
+        ):
+            return error_response(
+                request.id,
+                INVALID_PARAMS,
+                f"unknown tenant {request.tenant!r}; register it first "
+                "(method 'register')",
+                trace_id=request.trace_id,
+            )
+        guarded = self.firewall.call(
+            lambda: self._admission_decision(request, global_depth, tenant_depth),
+            site="service-admission",
+            label=label,
+        )
+        if not guarded.ok:
+            incident = guarded.incident
+            return error_response(
+                request.id,
+                REQUEST_FAILED,
+                f"admission crashed: {incident.exception}: {incident.message}",
+                incident=incident.to_json(),
+                trace_id=request.trace_id,
+            )
+        decision = guarded.value
+        if decision is None:
+            return None
+        deadline = request.deadline_seconds
+        if deadline is not None and (time.monotonic() - started) >= deadline:
+            # the deadline wins over the shed: a shed invites a retry,
+            # an expired deadline must not
+            self.collector.count("service.deadline-exceeded")
+            return error_response(
+                request.id,
+                DEADLINE_EXCEEDED,
+                f"deadline of {deadline}s expired at admission",
+                trace_id=request.trace_id,
+            )
+        return error_response(
+            request.id,
+            decision.code,
+            decision.message,
+            trace_id=request.trace_id,
+            retry_after=decision.retry_after,
+        )
+
+    def _admission_decision(
+        self, request: Request, global_depth: int, tenant_depth: int
+    ):
+        maybe_fault("service-admission", f"{request.tenant}:{request.method}")
+        return self.admission.decide(
+            request,
+            global_depth,
+            tenant_depth,
+            degraded=bool(self.firewall.incidents),
+        )
+
+    def _record_rejection(self, request: Request, response: dict) -> None:
+        """Account and journal a request answered without being served
+        (sheds, quota, deadline expiry, shutdown flush, admission crash)."""
+        error = response.get("error") or {}
+        code = error.get("code")
+        outcome = _REJECT_OUTCOMES.get(code, "rejected")
+        obs = self.collector
+        if code in (OVERLOADED, QUOTA_EXCEEDED):
+            obs.count("service.shed")
+            obs.count(f"service.shed.{outcome}")
+            obs.count(f"tenant.{request.tenant}.shed")
+            tenant = self.tenants.maybe(request.tenant)
+            if tenant is not None:
+                tenant.shed += 1
+        if self.journal is None:
+            return
+        record = request_record(
+            trace_id=request.trace_id,
+            method=request.method,
+            outcome=outcome,
+            elapsed_seconds=0.0,
+            queue_wait_seconds=request.queue_wait_seconds,
+            tenant=request.tenant,
+            priority=request.priority,
+            incidents=1 if "incident" in error else 0,
+        )
+        try:
+            self.journal.append(record)
+        except OSError:
+            obs.count("journal.error")
 
     # -- request handling --------------------------------------------------
 
     def _handle(self, request: Request) -> dict:
-        """One queued request: firewall around the handler, so a crash is
-        an error response with an incident — never a dead daemon. Every
+        """One scheduled request: firewall around the handler, so a crash
+        is an error response with an incident — never a dead daemon. Every
         path out of here echoes the request's ``trace_id``; served
         requests additionally land one telemetry-journal record."""
         handler = getattr(self, "_method_" + request.method, None)
@@ -231,23 +412,50 @@ class AnalysisService:
                 f"(valid methods: {', '.join(METHODS)})",
                 trace_id=request.trace_id,
             )
-        self.requests_served += 1
+        resident = self.tenants.maybe(request.tenant)
+        if resident is None and request.method not in _TENANTLESS_METHODS:
+            # admission normally catches this; belt-and-braces for
+            # embedders that drive the scheduler without admission
+            return error_response(
+                request.id,
+                INVALID_PARAMS,
+                f"unknown tenant {request.tenant!r}; register it first "
+                "(method 'register')",
+                trace_id=request.trace_id,
+            )
+        with self._stats_lock:
+            self.requests_served += 1
         obs = self.collector
         obs.count("service.requests")
         obs.count(f"service.method.{request.method}")
-        hits_before, misses_before = self.cache.hits, self.cache.misses
+        obs.count(f"tenant.{request.tenant}.requests")
+        # each request runs against a private sub-collector (span stacks
+        # are per-thread by construction only under workers=1); its tree
+        # and metrics merge into the daemon collector at completion
+        req_obs = Collector(f"request:{request.trace_id}")
+        ctx = RequestContext(
+            request=request,
+            tenant=resident or self.tenants.default,
+            obs=req_obs,
+            cache=CacheView(self.cache),
+        )
+        if resident is not None:
+            # single-writer by scheduler serialization: the tenant's
+            # resident state reports refresh/parse into this request's tree
+            resident.state.collector = req_obs
         started = time.perf_counter()
         outcome = "ok"
-        with obs.span(
+        with req_obs.span(
             STAGE_SERVICE_REQUEST,
             trace_id=request.trace_id,
             method=request.method,
+            tenant=request.tenant,
         ) as request_span:
             try:
                 guarded = self.firewall.call(
-                    lambda: self._run_handler(handler, request),
+                    lambda: self._run_handler(handler, request, ctx),
                     site="service-request",
-                    label=request.method,
+                    label=f"{request.tenant}:{request.method}",
                     reraise=(ServiceError,),
                 )
             except ServiceError as exc:
@@ -272,16 +480,16 @@ class AnalysisService:
                     incident=incident.to_json(),
                     trace_id=request.trace_id,
                 )
+        if resident is not None:
+            resident.served += 1
+        self.collector.merge(req_obs)
         self._finish_request(
             request,
             request_span,
             response,
             outcome,
             elapsed,
-            cache_delta={
-                "hits": self.cache.hits - hits_before,
-                "misses": self.cache.misses - misses_before,
-            },
+            cache_delta={"hits": ctx.cache.hits, "misses": ctx.cache.misses},
         )
         return response
 
@@ -299,6 +507,10 @@ class AnalysisService:
         journal disk degrades into a ``journal.error`` counter."""
         obs = self.collector
         obs.observe("service.request.seconds", elapsed)
+        obs.observe(f"tenant.{request.tenant}.request.seconds", elapsed)
+        if request.method not in ADMISSION_EXEMPT:
+            # analysis durations price the retry_after hint on depth sheds
+            self.admission.observe_duration(elapsed)
         stages: Dict[str, float] = {}
         for span in request_span.walk():
             if span is request_span:
@@ -313,6 +525,7 @@ class AnalysisService:
             exemplar = {
                 "trace_id": request.trace_id,
                 "method": request.method,
+                "tenant": request.tenant,
                 "elapsed_seconds": elapsed,
                 "queue_wait_seconds": request.queue_wait_seconds,
                 "spans": request_span.to_dict(),
@@ -332,6 +545,8 @@ class AnalysisService:
             outcome=outcome,
             elapsed_seconds=elapsed,
             queue_wait_seconds=request.queue_wait_seconds,
+            tenant=request.tenant,
+            priority=request.priority,
             code=result.get("code") if isinstance(result, dict) else None,
             reports=len(result["reports"])
             if isinstance(result, dict) and isinstance(result.get("reports"), list)
@@ -348,16 +563,20 @@ class AnalysisService:
         except OSError:
             obs.count("journal.error")
 
-    def _run_handler(self, handler, request: Request):
-        maybe_fault("service-request", request.method)
-        return handler(request.params)
+    def _run_handler(self, handler, request: Request, ctx: RequestContext):
+        label = f"{request.tenant}:{request.method}"
+        maybe_fault("service-scheduler", label)
+        maybe_fault("service-request", label)
+        return handler(request.params, ctx)
 
-    def _refresh(self):
+    def _refresh(self, ctx: RequestContext):
         """Refresh behind its own firewall: a broken edit (parse error,
         vanished file) keeps the previous generation serving and surfaces
         as an incident, exactly like any other degraded unit."""
         guarded = self.firewall.call(
-            self.state.refresh, site="service-request", label="refresh"
+            ctx.tenant.state.refresh,
+            site="service-request",
+            label=f"{ctx.request.tenant}:refresh",
         )
         if guarded.ok:
             return guarded.value, None
@@ -365,17 +584,20 @@ class AnalysisService:
 
     # -- methods -----------------------------------------------------------
 
-    def _method_ping(self, params: dict) -> dict:
+    def _method_ping(self, params: dict, ctx: RequestContext) -> dict:
         return {
             "ok": True,
             "protocol": PROTOCOL_VERSION,
-            "project": self.state.path,
-            "generation": self.state.generation,
+            "project": ctx.tenant.state.path,
+            "tenant": ctx.tenant.tenant_id,
+            "tenants": len(self.tenants),
+            "workers": self.queue.workers,
+            "generation": ctx.tenant.state.generation,
             "uptime_seconds": time.monotonic() - self.started,
         }
 
-    def _method_refresh(self, params: dict) -> dict:
-        delta, incident = self._refresh()
+    def _method_refresh(self, params: dict, ctx: RequestContext) -> dict:
+        delta, incident = self._refresh(ctx)
         if incident is not None:
             raise ServiceError(
                 REQUEST_FAILED,
@@ -389,22 +611,22 @@ class AnalysisService:
             from repro.engine.invalidate import shard_fingerprints
 
             new = shard_fingerprints(
-                self.state.program,
-                config=self._engine_config(),
-                collector=self.collector,
+                ctx.tenant.state.program,
+                config=self._engine_config(ctx),
+                collector=ctx.obs,
             )
             payload["invalidation"] = diff_fingerprints(
-                self._fingerprints, new
+                ctx.tenant.fingerprints, new
             ).to_json()
         return payload
 
-    def _engine_config(self):
+    def _engine_config(self, ctx: RequestContext):
         from repro.engine import EngineConfig
 
         return EngineConfig(
             jobs=self.jobs,
             backend=self.backend or "thread",
-            cache=self.cache,
+            cache=ctx.cache,
             budget_wall_seconds=self.budget_wall_seconds,
             budget_solver_nodes=self.budget_solver_nodes,
             solver_mode=self.solver_mode,
@@ -414,12 +636,14 @@ class AnalysisService:
             retry_timeouts=self.retry_timeouts,
         )
 
-    def _detect(self, params: dict) -> "tuple[GCatchResult, Optional[dict]]":
+    def _detect(
+        self, params: dict, ctx: RequestContext
+    ) -> "tuple[GCatchResult, Optional[dict]]":
         refresh_payload = None
         if params.get("refresh", True):
-            delta, incident = self._refresh()
+            delta, incident = self._refresh(ctx)
             if incident is not None:
-                if self.state.program is None:
+                if ctx.tenant.state.program is None:
                     raise ServiceError(
                         REQUEST_FAILED,
                         f"project failed to load: {incident.message}",
@@ -429,12 +653,12 @@ class AnalysisService:
                 refresh_payload = delta.to_json()
                 refresh_payload["noop"] = delta.is_noop()
         result = run_gcatch(
-            self.state.program,
+            ctx.tenant.state.program,
             disentangle=self.disentangle,
-            collector=self.collector,
+            collector=ctx.obs,
             jobs=self.jobs,
             backend=self.backend,
-            cache=self.cache,
+            cache=ctx.cache,
             budget_wall_seconds=self.budget_wall_seconds,
             budget_solver_nodes=self.budget_solver_nodes,
             max_retries=self.max_retries,
@@ -444,15 +668,16 @@ class AnalysisService:
         )
         return result, refresh_payload
 
-    def _method_detect(self, params: dict) -> dict:
-        result, refresh_payload = self._detect(params)
+    def _method_detect(self, params: dict, ctx: RequestContext) -> dict:
+        result, refresh_payload = self._detect(params, ctx)
+        tenant = ctx.tenant
         shards = result.shards or []
         cached = sum(1 for s in shards if s.outcome == "cached")
         new_fps = {f"{s.kind}:{s.label}": s.fingerprint for s in shards}
         delta: Optional[InvalidationDelta] = None
-        if self._fingerprints:
-            delta = diff_fingerprints(self._fingerprints, new_fps)
-        self._fingerprints = new_fps
+        if tenant.fingerprints:
+            delta = diff_fingerprints(tenant.fingerprints, new_fps)
+        tenant.fingerprints = new_fps
         reports = result.all_reports()
         health = result.health()
         code = exit_code_for(
@@ -463,16 +688,16 @@ class AnalysisService:
             strict=bool(params.get("strict")),
             fail_on_timeout=bool(params.get("fail_on_timeout")),
         )
-        self._last = {
+        tenant.last = {
             "method": "detect",
-            "generation": self.state.generation,
+            "generation": tenant.state.generation,
             "reports": len(reports),
             "health": health,
             "code": code,
             "incidents": len(result.incidents),
         }
         payload = {
-            "generation": self.state.generation,
+            "generation": tenant.state.generation,
             "reports": [report_to_json(r) for r in reports],
             "bmoc": len(result.bmoc.reports),
             "traditional": len(result.traditional),
@@ -497,19 +722,20 @@ class AnalysisService:
             payload["incidents"] = incidents_to_json(result.incidents)
         return payload
 
-    def _method_fix(self, params: dict) -> dict:
-        single = self.state.single_source
+    def _method_fix(self, params: dict, ctx: RequestContext) -> dict:
+        tenant = ctx.tenant
+        single = tenant.state.single_source
         if single is None:
             raise ServiceError(
                 INVALID_PARAMS,
                 "fix needs the patchable source text, so it is only "
                 "available on single-file projects",
             )
-        result, refresh_payload = self._detect(params)
+        result, refresh_payload = self._detect(params, ctx)
         bugs = result.bmoc.bmoc_channel_bugs()
         from repro.fixer.dispatcher import GFix
 
-        gfix = GFix(self.state.program, single.source, collector=self.collector)
+        gfix = GFix(tenant.state.program, single.source, collector=ctx.obs)
         summary = gfix.fix_all(bugs)
         incidents = list(result.incidents) + summary.incidents()
         fixed = summary.fixed()
@@ -517,16 +743,16 @@ class AnalysisService:
         code = exit_code_for(
             0, False, health, len(incidents), strict=bool(params.get("strict"))
         )
-        self._last = {
+        tenant.last = {
             "method": "fix",
-            "generation": self.state.generation,
+            "generation": tenant.state.generation,
             "reports": len(bugs),
             "health": health,
             "code": code,
             "incidents": len(incidents),
         }
         payload = {
-            "generation": self.state.generation,
+            "generation": tenant.state.generation,
             "bugs": len(bugs),
             "fixed": len(fixed),
             "code": code,
@@ -550,12 +776,44 @@ class AnalysisService:
             payload["incidents"] = incidents_to_json(incidents)
         return payload
 
-    def _method_stats(self, params: dict) -> dict:
+    def _method_register(self, params: dict, ctx: RequestContext) -> dict:
+        tenant_id = params.get("tenant") or ctx.request.tenant
+        if not isinstance(tenant_id, str) or not tenant_id:
+            raise ServiceError(
+                INVALID_PARAMS, "register needs a tenant id (params.tenant)"
+            )
+        path = params.get("path")
+        if not isinstance(path, str) or not path:
+            raise ServiceError(
+                INVALID_PARAMS,
+                "register needs params.path (a .go file or a project directory)",
+            )
+        weight = params.get("weight", 1.0)
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool) or weight <= 0:
+            raise ServiceError(
+                INVALID_PARAMS, "weight must be a positive number"
+            )
+        tenant = self.tenants.register(tenant_id, path, weight=float(weight))
+        self.queue.set_weight(tenant.tenant_id, tenant.weight)
+        payload = tenant.to_json()
+        payload["ok"] = True
+        return payload
+
+    def _method_tenants(self, params: dict, ctx: RequestContext) -> dict:
+        return {
+            "tenants": [tenant.to_json() for tenant in self.tenants.items()],
+            "depths": self.queue.depths(),
+            "workers": self.queue.workers,
+            "sheds": self.admission.sheds,
+        }
+
+    def _method_stats(self, params: dict, ctx: RequestContext) -> dict:
         """The full ``repro.obs/2`` snapshot of the daemon's collector."""
         extra = {
             "project": self.state.path,
             "generation": self.state.generation,
             "requests": self.requests_served,
+            "tenants": len(self.tenants),
             "uptime_seconds": time.monotonic() - self.started,
         }
         if self.firewall.incidents:
@@ -564,7 +822,7 @@ class AnalysisService:
             extra["exemplars"] = list(self.exemplars)
         return snapshot(self.collector, extra=extra)
 
-    def _method_metrics_text(self, params: dict) -> dict:
+    def _method_metrics_text(self, params: dict, ctx: RequestContext) -> dict:
         """Prometheus text exposition of the daemon's collector, for
         scrapers (``repro client <addr> metrics_text`` prints it raw)."""
         return {
@@ -572,7 +830,7 @@ class AnalysisService:
             "text": render_prometheus(self.collector),
         }
 
-    def _method_metrics(self, params: dict) -> dict:
+    def _method_metrics(self, params: dict, ctx: RequestContext) -> dict:
         """The light health/metrics view: obs counters + incident ledger."""
         return {
             "counters": dict(self.collector.counters),
@@ -585,15 +843,23 @@ class AnalysisService:
                 "corrupt": self.cache.corrupt,
                 "evicted": self.cache.evicted,
             },
+            "scheduler": {
+                "workers": self.queue.workers,
+                "depth": self.queue.depth,
+                "depths": self.queue.depths(),
+                "sheds": self.admission.sheds,
+            },
+            "tenants": len(self.tenants),
             "requests": self.requests_served,
             "uptime_seconds": time.monotonic() - self.started,
         }
 
-    def _method_health(self, params: dict) -> dict:
+    def _method_health(self, params: dict, ctx: RequestContext) -> dict:
         """Same ok/degraded/failed semantics (and exit code) the CLI
-        reports: the verdict of the last analysis, or of the daemon's own
-        ledger when nothing has been analyzed yet."""
-        health = self._last["health"] if self._last is not None else "ok"
+        reports: the verdict of the tenant's last analysis, or of the
+        daemon's own ledger when nothing has been analyzed yet."""
+        last = ctx.tenant.last
+        health = last["health"] if last is not None else "ok"
         if health == "ok" and self.firewall.incidents:
             # crashed requests since the last clean analysis degrade the
             # daemon even though that analysis itself was fine
@@ -601,11 +867,11 @@ class AnalysisService:
         return {
             "health": health,
             "code": EXIT_INCIDENT if health == "failed" else 0,
-            "last": dict(self._last) if self._last is not None else None,
+            "last": dict(last) if last is not None else None,
             "incidents": len(self.firewall.incidents),
         }
 
-    def _method_shutdown(self, params: dict) -> dict:
+    def _method_shutdown(self, params: dict, ctx: RequestContext) -> dict:
         self._shutdown.set()
         return {"ok": True, "requests_served": self.requests_served}
 
@@ -666,7 +932,7 @@ class _Handler(socketserver.StreamRequestHandler):
 
 
 class ServiceServer(socketserver.ThreadingTCPServer):
-    """TCP transport: threaded connections, one shared FIFO queue."""
+    """TCP transport: threaded connections, one shared fair scheduler."""
 
     allow_reuse_address = True
     daemon_threads = True

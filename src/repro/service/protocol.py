@@ -15,7 +15,17 @@ Response (exactly one of ``result`` / ``error``)::
 
 Methods (see :mod:`repro.service.daemon` for the parameter/result shapes):
 ``ping``, ``detect``, ``fix``, ``stats``, ``metrics``, ``metrics_text``,
-``health``, ``refresh``, ``shutdown``.
+``health``, ``refresh``, ``register``, ``tenants``, ``shutdown``.
+
+Multi-tenancy is additive: a request may carry a ``tenant`` string (a
+registered project id; default ``"default"``, the project the daemon was
+started with) and a ``priority`` class (``high``/``normal``/``low``,
+default ``normal``) — either top-level next to ``trace_id`` or inside
+``params``. Requests without them behave exactly as before, so the
+protocol version is unchanged. Under overload the daemon *rejects*
+instead of queueing: ``OVERLOADED`` (queue-depth limits, degraded-mode
+shedding) and ``QUOTA_EXCEEDED`` (per-tenant token bucket) errors carry
+a ``retry_after`` hint in seconds.
 
 Every response — results, errors, even protocol errors for garbage
 lines — carries a ``trace_id``. Clients may pin their own by putting a
@@ -53,6 +63,8 @@ INVALID_PARAMS = -32602
 REQUEST_FAILED = -32603  # handler crashed; error carries the incident
 DEADLINE_EXCEEDED = -32000  # expired in the queue before running
 SHUTTING_DOWN = -32001  # daemon is draining; request was not served
+OVERLOADED = -32002  # shed by admission control (queue depth / degraded mode)
+QUOTA_EXCEEDED = -32003  # the tenant's token-bucket quota is exhausted
 
 #: every method the daemon serves, in documentation order
 METHODS = (
@@ -64,10 +76,31 @@ METHODS = (
     "metrics_text",
     "health",
     "refresh",
+    "register",
+    "tenants",
     "shutdown",
 )
 
+#: scheduling classes, strongest first; the weighted-fair scheduler
+#: drains a class completely before touching the next
+PRIORITIES = ("high", "normal", "low")
+
+#: the tenant every request belongs to unless it says otherwise — the
+#: project the daemon was started with, preserving the PR-5 wire behavior
+DEFAULT_TENANT = "default"
+
 RequestId = Union[int, str, None]
+
+
+class ServiceError(Exception):
+    """A request-level error that is *not* a crash: wrong params, an
+    unknown tenant, an unsupported method for this project shape. Mapped
+    to a plain protocol error (no incident) and never counted against
+    daemon health."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
 
 
 @dataclass
@@ -84,9 +117,13 @@ class Request:
     #: request-scoped trace id: client-pinned or minted at decode time,
     #: echoed on the response and stamped on every span the request opens
     trace_id: str = field(default_factory=new_trace_id)
-    #: seconds spent waiting in the FIFO queue before running, stamped by
-    #: the queue worker just before dispatch (observability, not wire data)
+    #: seconds spent waiting in the scheduler before running, stamped by
+    #: the dispatching worker just before dispatch (observability, not wire data)
     queue_wait_seconds: float = 0.0
+    #: which registered project this request addresses
+    tenant: str = DEFAULT_TENANT
+    #: scheduling class; one of :data:`PRIORITIES`
+    priority: str = "normal"
 
     def to_json(self) -> dict:
         payload: dict = {"id": self.id, "method": self.method}
@@ -94,6 +131,10 @@ class Request:
             payload["params"] = self.params
         if self.trace_id:
             payload["trace_id"] = self.trace_id
+        if self.tenant != DEFAULT_TENANT:
+            payload["tenant"] = self.tenant
+        if self.priority != "normal":
+            payload["priority"] = self.priority
         return payload
 
 
@@ -157,12 +198,32 @@ def decode_request(line: str) -> Request:
             request_id=request_id,
             trace_id=trace_id,
         )
+    # tenant/priority ride top-level (like trace_id) or in params (handy
+    # for `repro client --params`); top-level wins when both are present
+    tenant = payload.get("tenant", params.get("tenant", DEFAULT_TENANT))
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(
+            INVALID_PARAMS,
+            "tenant must be a non-empty string",
+            request_id=request_id,
+            trace_id=trace_id,
+        )
+    priority = payload.get("priority", params.get("priority", "normal"))
+    if priority not in PRIORITIES:
+        raise ProtocolError(
+            INVALID_PARAMS,
+            f"priority must be one of {', '.join(PRIORITIES)}",
+            request_id=request_id,
+            trace_id=trace_id,
+        )
     return Request(
         id=request_id,
         method=method,
         params=params,
         deadline_seconds=float(deadline) if deadline is not None else None,
         trace_id=trace_id,
+        tenant=tenant,
+        priority=priority,
     )
 
 
@@ -181,10 +242,14 @@ def error_response(
     message: str,
     incident: Optional[dict] = None,
     trace_id: str = "",
+    retry_after: Optional[float] = None,
 ) -> dict:
     error: dict = {"code": code, "message": message}
     if incident is not None:
         error["incident"] = incident
+    if retry_after is not None:
+        # shed responses tell the client when trying again is worthwhile
+        error["retry_after"] = round(max(0.0, retry_after), 3)
     payload: dict = {"id": request_id, "error": error}
     if trace_id:
         payload["trace_id"] = trace_id

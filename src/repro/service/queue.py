@@ -1,51 +1,26 @@
-"""FIFO request queue with per-request deadlines.
+"""Back-compat alias: the single-worker FIFO queue of PR 5.
 
-One worker thread drains the queue in arrival order, so analysis
-requests are strictly serialized — parallelism lives *inside* a request
-(the engine's ``jobs`` pool), never across requests, which keeps the
-resident cache/fingerprint state single-writer and the responses
-deterministic. Transport threads (one per TCP connection, or the stdio
-loop) enqueue and block on a per-request future.
-
-Deadlines are queue-relative: ``deadline_seconds`` starts ticking at
-submit time, and a request that is still waiting when its deadline
-passes is answered with ``DEADLINE_EXCEEDED`` without running — the
-contract a caller with a timeout actually wants, since a request that
-*started* is charged for by the engine's own analysis budgets instead.
+The real machinery now lives in :mod:`repro.service.scheduler` — a
+worker pool behind per-tenant weighted-fair queues. With one worker and
+one tenant the fair scheduler *is* a FIFO (one lane, strict arrival
+order, same deadline semantics), so :class:`RequestQueue` is just the
+scheduler pinned to ``workers=1``. Existing embedders that constructed
+``RequestQueue(handler)`` directly keep the exact PR-5 behavior:
+strictly serialized requests, queue-relative deadlines, drain-on-stop.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-import time
-from concurrent.futures import Future
-from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.obs import NULL, Collector
-from repro.service.protocol import (
-    DEADLINE_EXCEEDED,
-    SHUTTING_DOWN,
-    Request,
-    error_response,
-)
+from repro.obs import Collector
+from repro.service.protocol import Request
+from repro.service.scheduler import FairScheduler
 
-_STOP = object()
+__all__ = ["RequestQueue"]
 
 
-@dataclass
-class _Pending:
-    request: Request
-    future: "Future[dict]"
-    enqueued: float  # monotonic submit time
-
-    def expired(self, now: float) -> bool:
-        deadline = self.request.deadline_seconds
-        return deadline is not None and (now - self.enqueued) > deadline
-
-
-class RequestQueue:
+class RequestQueue(FairScheduler):
     """FIFO queue + single worker; ``handler(Request) -> response dict``."""
 
     def __init__(
@@ -53,106 +28,4 @@ class RequestQueue:
         handler: Callable[[Request], dict],
         collector: Optional[Collector] = None,
     ):
-        self.handler = handler
-        self.collector = collector or NULL
-        self._queue: "queue.Queue[object]" = queue.Queue()
-        self._worker: Optional[threading.Thread] = None
-        self._stopping = False
-
-    def start(self) -> None:
-        if self._worker is not None:
-            return
-        self._worker = threading.Thread(
-            target=self._drain, name="repro-service-queue", daemon=True
-        )
-        self._worker.start()
-
-    def submit(self, request: Request) -> "Future[dict]":
-        """Enqueue one request; the returned future resolves to its
-        response dict (futures never carry exceptions — a handler crash
-        is already a structured error response by the time it lands)."""
-        future: "Future[dict]" = Future()
-        if self._stopping:
-            future.set_result(
-                error_response(
-                    request.id,
-                    SHUTTING_DOWN,
-                    "daemon is shutting down",
-                    trace_id=request.trace_id,
-                )
-            )
-            return future
-        self._queue.put(_Pending(request=request, future=future, enqueued=time.monotonic()))
-        if self.collector:
-            self.collector.gauge("service.queue-depth", self._queue.qsize())
-        return future
-
-    def call(self, request: Request, timeout: Optional[float] = None) -> dict:
-        """Submit and wait: the synchronous convenience used by transports."""
-        return self.submit(request).result(timeout=timeout)
-
-    def stop(self, timeout: float = 5.0) -> None:
-        """Drain-and-stop: requests already queued are still answered
-        (with SHUTTING_DOWN if they cannot run), new submits are refused."""
-        self._stopping = True
-        self._queue.put(_STOP)
-        if self._worker is not None:
-            self._worker.join(timeout=timeout)
-            self._worker = None
-
-    # -- worker ------------------------------------------------------------
-
-    def _drain(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _STOP:
-                self._flush_remaining()
-                return
-            pending: _Pending = item  # type: ignore[assignment]
-            request = pending.request
-            now = time.monotonic()
-            request.queue_wait_seconds = max(0.0, now - pending.enqueued)
-            if self.collector:
-                self.collector.observe(
-                    "service.queue.wait_seconds", request.queue_wait_seconds
-                )
-            if pending.expired(now):
-                if self.collector:
-                    self.collector.count("service.deadline-exceeded")
-                pending.future.set_result(
-                    error_response(
-                        request.id,
-                        DEADLINE_EXCEEDED,
-                        f"deadline of {request.deadline_seconds}s expired "
-                        "while queued",
-                        trace_id=request.trace_id,
-                    )
-                )
-                continue
-            try:
-                response = self.handler(request)
-            except BaseException as exc:  # the handler's own firewall failed
-                response = error_response(
-                    request.id, SHUTTING_DOWN if self._stopping else -32603,
-                    f"handler error: {type(exc).__name__}: {exc}",
-                    trace_id=request.trace_id,
-                )
-            pending.future.set_result(response)
-
-    def _flush_remaining(self) -> None:
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if item is _STOP:
-                continue
-            pending: _Pending = item  # type: ignore[assignment]
-            pending.future.set_result(
-                error_response(
-                    pending.request.id,
-                    SHUTTING_DOWN,
-                    "daemon is shutting down",
-                    trace_id=pending.request.trace_id,
-                )
-            )
+        super().__init__(handler, workers=1, collector=collector)

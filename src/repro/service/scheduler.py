@@ -1,0 +1,388 @@
+"""Weighted-fair request scheduler with a worker pool.
+
+The FIFO queue of PR 5 serialized *everything* behind one worker; this
+scheduler keeps what made that design sound — per-tenant analysis state
+stays single-writer — while letting independent tenants run
+concurrently and none of them starve:
+
+* **per-tenant sub-queues**: each tenant owns one FIFO deque per
+  priority class, so one flooding tenant queues behind itself, not in
+  front of everyone else;
+* **strict priority classes** (``high`` > ``normal`` > ``low``): a class
+  is drained before the next is touched;
+* **deficit round-robin** within a class: each visit tops a tenant's
+  deficit counter up by its weight (only when it cannot afford a
+  request), serves while the deficit covers a request (requests cost
+  1.0), and rotates — a weight-2 tenant gets two consecutive turns per
+  round, a weight-0.5 tenant one turn every other round, and a
+  low-traffic tenant's queue wait is bounded by one round regardless of
+  any other tenant's backlog;
+* **per-tenant in-flight serialization**: a tenant with a request
+  running is skipped by the ring, so its resident
+  :class:`~repro.service.project.ProjectState`, fingerprints and health
+  are only ever touched by one worker at a time — concurrency lives
+  *across* tenants, determinism *within* one;
+* **deadline machinery unchanged**: deadlines are submit-relative and a
+  request that waits out its deadline is answered ``DEADLINE_EXCEEDED``
+  at dispatch, without running;
+* **admission hook**: an optional ``admit`` callable runs under the
+  scheduler lock at submit time (so queue-depth decisions are exact) and
+  may return a complete error response to shed the request;
+* **drain-on-stop**: :meth:`stop` answers every still-queued request
+  with ``SHUTTING_DOWN`` *immediately* — in-flight requests complete,
+  queued ones are not run — so shutdown latency is one request, not one
+  queue.
+
+Fault sites: ``service-scheduler`` fires per dispatched request (via the
+daemon's handler) and ``service-admission`` inside the daemon's
+admission hook; see :mod:`repro.resilience.faultinject`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.obs import NULL, Collector
+from repro.service.protocol import (
+    DEADLINE_EXCEEDED,
+    PRIORITIES,
+    SHUTTING_DOWN,
+    Request,
+    error_response,
+)
+
+
+@dataclass
+class _Pending:
+    request: Request
+    future: "Future[dict]"
+    enqueued: float  # monotonic submit time
+
+    def expired(self, now: float) -> bool:
+        deadline = self.request.deadline_seconds
+        return deadline is not None and (now - self.enqueued) > deadline
+
+
+class _Lane:
+    """One tenant's scheduling state: a FIFO per priority class plus the
+    deficit counters the round-robin spends."""
+
+    __slots__ = ("tenant", "weight", "queues", "deficits")
+
+    def __init__(self, tenant: str, weight: float = 1.0):
+        self.tenant = tenant
+        self.weight = max(1e-3, float(weight))
+        self.queues: Dict[str, Deque[_Pending]] = {p: deque() for p in PRIORITIES}
+        self.deficits: Dict[str, float] = {p: 0.0 for p in PRIORITIES}
+
+    def depth(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+
+class FairScheduler:
+    """Worker pool + weighted-fair queues; ``handler(Request) -> dict``.
+
+    ``admit(request, global_depth, tenant_depth)`` (optional) runs under
+    the scheduler lock and returns ``None`` to admit or a complete
+    response dict to reject; ``on_reject(request, response)`` (optional)
+    runs outside the lock for every request answered without being
+    served (sheds, dispatch-time deadline expiry, shutdown flushes) so
+    the daemon can journal them.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Request], dict],
+        workers: int = 1,
+        collector: Optional[Collector] = None,
+        admit: Optional[Callable[[Request, int, int], Optional[dict]]] = None,
+        on_reject: Optional[Callable[[Request, dict], None]] = None,
+        weight_of: Optional[Callable[[str], float]] = None,
+    ):
+        self.handler = handler
+        self.workers = max(1, int(workers))
+        self.collector = collector or NULL
+        self.admit = admit
+        self.on_reject = on_reject
+        self.weight_of = weight_of
+        self._cond = threading.Condition()
+        self._lanes: Dict[str, _Lane] = {}
+        #: per-priority rotation order: tenant ids with queued work
+        self._rings: Dict[str, Deque[str]] = {p: deque() for p in PRIORITIES}
+        self._busy: set = set()  # tenants with a request in flight
+        self._depth = 0  # queued (not in-flight) requests
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain-and-stop with the hardened semantics: requests already
+        running complete; requests still queued are answered with a
+        structured ``SHUTTING_DOWN`` error immediately (they are *not*
+        run); new submits are refused."""
+        with self._cond:
+            self._stopping = True
+            flushed = self._flush_locked()
+            self._cond.notify_all()
+        for pending in flushed:
+            self._resolve_unserved(
+                pending.request,
+                error_response(
+                    pending.request.id,
+                    SHUTTING_DOWN,
+                    "daemon is shutting down",
+                    trace_id=pending.request.trace_id,
+                ),
+                pending.future,
+            )
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    def _flush_locked(self) -> List[_Pending]:
+        flushed: List[_Pending] = []
+        for lane in self._lanes.values():
+            for queue in lane.queues.values():
+                flushed.extend(queue)
+                queue.clear()
+            lane.deficits = {p: 0.0 for p in PRIORITIES}
+        for ring in self._rings.values():
+            ring.clear()
+        self._depth = 0
+        return flushed
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, request: Request) -> "Future[dict]":
+        """Enqueue one request; the returned future resolves to its
+        response dict (futures never carry exceptions — a handler crash
+        is already a structured error response by the time it lands)."""
+        future: "Future[dict]" = Future()
+        rejection: Optional[dict] = None
+        with self._cond:
+            if self._stopping:
+                rejection = error_response(
+                    request.id,
+                    SHUTTING_DOWN,
+                    "daemon is shutting down",
+                    trace_id=request.trace_id,
+                )
+            else:
+                lane = self._lanes.get(request.tenant)
+                tenant_depth = lane.depth() if lane is not None else 0
+                if self.admit is not None:
+                    # under the lock on purpose: depth limits must see the
+                    # exact queue state, or two bursts race past the bound
+                    rejection = self.admit(request, self._depth, tenant_depth)
+                if rejection is None:
+                    if lane is None:
+                        lane = self._make_lane(request.tenant)
+                    priority = (
+                        request.priority if request.priority in PRIORITIES else "normal"
+                    )
+                    lane.queues[priority].append(
+                        _Pending(
+                            request=request,
+                            future=future,
+                            enqueued=time.monotonic(),
+                        )
+                    )
+                    ring = self._rings[priority]
+                    if request.tenant not in ring:
+                        ring.append(request.tenant)
+                    self._depth += 1
+                    depth = self._depth
+                    self._cond.notify()
+        if rejection is not None:
+            self._resolve_unserved(request, rejection, future)
+            return future
+        if self.collector:
+            self.collector.gauge("service.queue-depth", depth)
+        return future
+
+    def call(self, request: Request, timeout: Optional[float] = None) -> dict:
+        """Submit and wait: the synchronous convenience used by transports."""
+        return self.submit(request).result(timeout=timeout)
+
+    def _make_lane(self, tenant: str) -> _Lane:
+        weight = 1.0
+        if self.weight_of is not None:
+            try:
+                weight = float(self.weight_of(tenant))
+            except Exception:
+                weight = 1.0
+        lane = self._lanes[tenant] = _Lane(tenant, weight=weight)
+        return lane
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        with self._cond:
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                lane = self._lanes[tenant] = _Lane(tenant, weight=weight)
+            else:
+                lane.weight = max(1e-3, float(weight))
+
+    # -- introspection ------------------------------------------------------
+
+    def depths(self) -> Dict[str, int]:
+        """Queued requests per tenant (snapshot, for metrics/tenants)."""
+        with self._cond:
+            return {
+                tenant: lane.depth()
+                for tenant, lane in self._lanes.items()
+                if lane.depth()
+            }
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return self._depth
+
+    # -- workers ------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                pending = self._next_locked()
+                while pending is None:
+                    if self._stopping:
+                        return
+                    self._cond.wait()
+                    pending = self._next_locked()
+                tenant = pending.request.tenant
+                self._busy.add(tenant)
+                self._depth -= 1
+            try:
+                self._dispatch(pending)
+            finally:
+                with self._cond:
+                    self._busy.discard(tenant)
+                    # a parked teammate may now be able to take this
+                    # tenant's next request (or any request at all)
+                    self._cond.notify_all()
+
+    def _dispatch(self, pending: _Pending) -> None:
+        request = pending.request
+        now = time.monotonic()
+        request.queue_wait_seconds = max(0.0, now - pending.enqueued)
+        if self.collector:
+            self.collector.observe(
+                "service.queue.wait_seconds", request.queue_wait_seconds
+            )
+            self.collector.observe(
+                f"tenant.{request.tenant}.queue.wait_seconds",
+                request.queue_wait_seconds,
+            )
+        if pending.expired(now):
+            if self.collector:
+                self.collector.count("service.deadline-exceeded")
+            self._resolve_unserved(
+                request,
+                error_response(
+                    request.id,
+                    DEADLINE_EXCEEDED,
+                    f"deadline of {request.deadline_seconds}s expired "
+                    "while queued",
+                    trace_id=request.trace_id,
+                ),
+                pending.future,
+            )
+            return
+        try:
+            response = self.handler(request)
+        except BaseException as exc:  # the handler's own firewall failed
+            response = error_response(
+                request.id,
+                SHUTTING_DOWN if self._stopping else -32603,
+                f"handler error: {type(exc).__name__}: {exc}",
+                trace_id=request.trace_id,
+            )
+        pending.future.set_result(response)
+
+    def _resolve_unserved(
+        self, request: Request, response: dict, future: "Future[dict]"
+    ) -> None:
+        """Answer a request that was never handed to the handler, then
+        let the daemon journal it (outside the scheduler lock)."""
+        future.set_result(response)
+        if self.on_reject is not None:
+            try:
+                self.on_reject(request, response)
+            except Exception:
+                pass  # telemetry must never fail the response
+
+    # -- deficit round-robin -------------------------------------------------
+
+    def _next_locked(self) -> Optional[_Pending]:
+        """Pick the next runnable request: strict priority order across
+        classes, deficit round-robin across tenants inside a class,
+        skipping tenants that are busy or whose deficit cannot yet afford
+        a request. Caller holds the lock."""
+        for priority in PRIORITIES:
+            pending = self._take_locked(priority)
+            if pending is not None:
+                return pending
+        return None
+
+    def _take_locked(self, priority: str) -> Optional[_Pending]:
+        ring = self._rings[priority]
+        while ring:
+            any_eligible = False
+            for _ in range(len(ring)):
+                if not ring:
+                    break
+                tenant = ring[0]
+                lane = self._lanes[tenant]
+                queue = lane.queues[priority]
+                if not queue:
+                    # stale ring entry (queue emptied by a flush)
+                    ring.popleft()
+                    lane.deficits[priority] = 0.0
+                    continue
+                if tenant in self._busy:
+                    ring.rotate(-1)
+                    continue
+                any_eligible = True
+                deficit = lane.deficits[priority]
+                if deficit < 1.0:
+                    deficit += lane.weight
+                if deficit >= 1.0:
+                    deficit -= 1.0
+                    pending = queue.popleft()
+                    if not queue:
+                        # an emptied lane leaves the ring with its credit
+                        # zeroed: deficits never accumulate across idle time
+                        ring.popleft()
+                        lane.deficits[priority] = 0.0
+                    else:
+                        lane.deficits[priority] = deficit
+                        if deficit < 1.0:
+                            ring.rotate(-1)
+                        # else: stay at the head — a weight-N tenant gets
+                        # N consecutive turns per round
+                    return pending
+                lane.deficits[priority] = deficit
+                ring.rotate(-1)
+            if not any_eligible:
+                return None
+            # every eligible lane is under-deficit (fractional weights):
+            # run another accumulation round; bounded by ceil(1/min weight)
+        return None

@@ -209,3 +209,49 @@ class TestStrictFlip:
         argv = ["detect", clean_file, "--jobs", "4", "--faults", "solve:raise"]
         assert main(argv) == 0
         assert main(argv + ["--strict"]) == EXIT_INCIDENT
+
+
+class TestAdmissionChaos:
+    """The daemon's admission/scheduling path is itself a fault site:
+    an injected crash there must become a structured incident on *that
+    tenant's* response while the daemon keeps serving other tenants."""
+
+    BUGGY = (
+        "package main\n\nfunc main() {\n\tch := make(chan int)\n"
+        "\tgo func() {\n\t\tch <- 1\n\t}()\n}\n"
+    )
+
+    @pytest.fixture
+    def two_tenant_service(self, tmp_path):
+        from repro.service import AnalysisService
+
+        for name in ("a", "b"):
+            d = tmp_path / name
+            d.mkdir()
+            (d / "main.go").write_text(self.BUGGY)
+        service = AnalysisService(str(tmp_path / "a" / "main.go"), workers=1).start()
+        response = service.call(
+            "register", {"tenant": "b", "path": str(tmp_path / "b" / "main.go")}
+        )
+        assert "error" not in response, response
+        yield service
+        service.stop()
+
+    @pytest.mark.parametrize("site", ["service-admission", "service-scheduler"])
+    def test_injected_crash_isolated_to_faulted_tenant(
+        self, two_tenant_service, site
+    ):
+        service = two_tenant_service
+        # fault labels are '<tenant>:<method>'; 'b' matches only tenant b
+        with injected(f"{site}@b:raise:times=1"):
+            crashed = service.call("detect", tenant="b")
+            assert crashed["error"]["incident"]["site"] == site
+            # other tenants are served while the fault plan is active
+            assert "result" in service.call("detect")
+        # the faulted tenant recovers once the fault is exhausted
+        assert "result" in service.call("detect", tenant="b")
+        # the crash is on the incident ledger: health reports degraded
+        health = service.call("health")["result"]
+        assert health["health"] == "degraded"
+        assert health["incidents"] >= 1
+        assert any(i.site == site for i in service.firewall.incidents)

@@ -1,0 +1,531 @@
+"""Tests for the weighted-fair scheduler and admission control.
+
+The multi-tenant daemon's contract under test:
+
+* deficit round-robin interleaves tenants by weight (a weight-2 tenant
+  gets two turns per round) and strict priority classes drain first;
+* one tenant's requests never run concurrently, different tenants' do;
+* shutdown drains: in-flight requests complete, still-queued requests
+  are answered with a structured SHUTTING_DOWN error immediately;
+* admission sheds with structured OVERLOADED/QUOTA_EXCEEDED (plus a
+  retry_after hint) instead of queueing — and a request that is both
+  sheddable and past its deadline reports DEADLINE_EXCEEDED (the
+  deadline wins), under one worker and under four;
+* a flooding tenant cannot starve a quiet one: the quiet tenant's queue
+  wait stays bounded by one round-robin round.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience.faultinject import injected
+from repro.service import AnalysisService, FairScheduler, Request
+from repro.service.admission import (
+    ADMISSION_EXEMPT,
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.service.protocol import (
+    DEADLINE_EXCEEDED,
+    INVALID_PARAMS,
+    OVERLOADED,
+    QUOTA_EXCEEDED,
+    SHUTTING_DOWN,
+)
+
+BUGGY = """package main
+
+func main() {
+\tch := make(chan int)
+\tgo func() {
+\t\tch <- 1
+\t}()
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.go"
+    path.write_text(BUGGY)
+    return str(path)
+
+
+def ok(response):
+    assert "error" not in response, response
+    return response["result"]
+
+
+def plugged_scheduler(order, release, workers=1):
+    """A scheduler whose first request blocks until ``release`` is set, so
+    tests can build a backlog and then observe the exact drain order."""
+
+    def handler(request):
+        if request.tenant == "plug":
+            release.wait(timeout=5)
+        order.append((request.tenant, request.id))
+        return {"id": request.id, "result": {}}
+
+    scheduler = FairScheduler(handler, workers=workers)
+    scheduler.start()
+    return scheduler
+
+
+# -- fair scheduling --------------------------------------------------------
+
+
+class TestFairScheduler:
+    def test_weighted_deficit_round_robin(self):
+        """A weight-2 tenant is served twice per round: a,a,b,a,a,b."""
+        order, release = [], threading.Event()
+        scheduler = plugged_scheduler(order, release)
+        scheduler.set_weight("a", 2.0)
+        plug = scheduler.submit(Request(id="plug", method="ping", tenant="plug"))
+        futures = [
+            scheduler.submit(Request(id=f"a{i}", method="ping", tenant="a"))
+            for i in range(6)
+        ] + [
+            scheduler.submit(Request(id=f"b{i}", method="ping", tenant="b"))
+            for i in range(3)
+        ]
+        release.set()
+        plug.result(timeout=5)
+        for future in futures:
+            future.result(timeout=5)
+        scheduler.stop()
+        drained = [tenant for tenant, _ in order if tenant != "plug"]
+        assert drained == ["a", "a", "b", "a", "a", "b", "a", "a", "b"]
+
+    def test_equal_weights_alternate(self):
+        order, release = [], threading.Event()
+        scheduler = plugged_scheduler(order, release)
+        plug = scheduler.submit(Request(id="plug", method="ping", tenant="plug"))
+        futures = [
+            scheduler.submit(Request(id=i, method="ping", tenant=t))
+            for i, t in enumerate(["a"] * 3 + ["b"] * 3)
+        ]
+        release.set()
+        plug.result(timeout=5)
+        for future in futures:
+            future.result(timeout=5)
+        scheduler.stop()
+        drained = [tenant for tenant, _ in order if tenant != "plug"]
+        assert drained == ["a", "b", "a", "b", "a", "b"]
+
+    def test_priority_classes_drain_first(self):
+        """Strict classes: every queued high runs before any normal, every
+        normal before any low — regardless of arrival order."""
+        order, release = [], threading.Event()
+        scheduler = plugged_scheduler(order, release)
+        plug = scheduler.submit(Request(id="plug", method="ping", tenant="plug"))
+        futures = [
+            scheduler.submit(
+                Request(id=f"{prio}{i}", method="ping", tenant="a", priority=prio)
+            )
+            for i, prio in enumerate(["low", "normal", "high", "low", "high"])
+        ]
+        release.set()
+        plug.result(timeout=5)
+        for future in futures:
+            future.result(timeout=5)
+        scheduler.stop()
+        drained = [rid for tenant, rid in order if tenant != "plug"]
+        assert drained == ["high2", "high4", "normal1", "low0", "low3"]
+
+    def test_flooding_tenant_cannot_starve_quiet_one(self):
+        """DRR bounds a quiet tenant's wait to one round: its request is
+        served right after the flooder's next one, not after the backlog."""
+        order, release = [], threading.Event()
+        scheduler = plugged_scheduler(order, release)
+        plug = scheduler.submit(Request(id="plug", method="ping", tenant="plug"))
+        noisy = [
+            scheduler.submit(Request(id=f"n{i}", method="ping", tenant="noisy"))
+            for i in range(20)
+        ]
+        quiet = scheduler.submit(Request(id="q", method="ping", tenant="quiet"))
+        release.set()
+        plug.result(timeout=5)
+        quiet.result(timeout=5)
+        for future in noisy:
+            future.result(timeout=5)
+        scheduler.stop()
+        drained = [rid for tenant, rid in order if tenant != "plug"]
+        # one noisy request may legitimately run first (it is ahead in the
+        # round); the 20-deep backlog may not
+        assert drained.index("q") <= 1
+
+    def test_cross_tenant_requests_run_concurrently(self):
+        """Two tenants must be in flight at once under workers=2: each
+        handler waits at a barrier only both together can pass."""
+        barrier = threading.Barrier(2, timeout=5)
+
+        def handler(request):
+            barrier.wait()
+            return {"id": request.id, "result": {}}
+
+        scheduler = FairScheduler(handler, workers=2)
+        scheduler.start()
+        futures = [
+            scheduler.submit(Request(id=t, method="ping", tenant=t))
+            for t in ("a", "b")
+        ]
+        for future in futures:
+            assert "result" in future.result(timeout=5)
+        scheduler.stop()
+
+    def test_same_tenant_requests_never_run_concurrently(self):
+        active, seen_overlap = set(), []
+        lock = threading.Lock()
+
+        def handler(request):
+            with lock:
+                if request.tenant in active:
+                    seen_overlap.append(request.id)
+                active.add(request.tenant)
+            time.sleep(0.005)
+            with lock:
+                active.discard(request.tenant)
+            return {"id": request.id, "result": {}}
+
+        scheduler = FairScheduler(handler, workers=4)
+        scheduler.start()
+        futures = [
+            scheduler.submit(Request(id=f"{t}{i}", method="ping", tenant=t))
+            for i in range(8)
+            for t in ("a", "b", "c")
+        ]
+        for future in futures:
+            future.result(timeout=10)
+        scheduler.stop()
+        assert seen_overlap == []
+
+    def test_stop_answers_queued_with_shutting_down_immediately(self):
+        """The hardened drain semantics: the in-flight request completes,
+        still-queued requests get SHUTTING_DOWN *without running* — even
+        though the worker frees up afterwards."""
+        started, release = threading.Event(), threading.Event()
+        ran = []
+        rejected = []
+
+        def handler(request):
+            started.set()
+            release.wait(timeout=5)
+            ran.append(request.id)
+            return {"id": request.id, "result": {}}
+
+        scheduler = FairScheduler(
+            handler, workers=1, on_reject=lambda req, resp: rejected.append(req.id)
+        )
+        scheduler.start()
+        running = scheduler.submit(Request(id="running", method="ping"))
+        queued = [
+            scheduler.submit(Request(id=f"q{i}", method="ping")) for i in range(3)
+        ]
+        started.wait(timeout=5)
+        stopper = threading.Thread(target=scheduler.stop)
+        stopper.start()
+        # the queued futures resolve before the worker is even free
+        for i, future in enumerate(queued):
+            assert future.result(timeout=5)["error"]["code"] == SHUTTING_DOWN
+        release.set()
+        stopper.join(timeout=5)
+        assert "result" in running.result(timeout=5)
+        assert ran == ["running"]
+        assert sorted(rejected) == ["q0", "q1", "q2"]
+
+
+# -- admission units --------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_reject_with_retry_after(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: clock[0])
+        assert bucket.take() is None
+        assert bucket.take() is None
+        retry = bucket.take()
+        assert retry is not None and retry == pytest.approx(0.5)
+
+    def test_refills_over_time(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=lambda: clock[0])
+        assert bucket.take() is None
+        assert bucket.take() is not None
+        clock[0] = 1.5
+        assert bucket.take() is None
+
+    def test_zero_rate_admits_only_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=lambda: clock[0])
+        assert bucket.take() is None
+        assert bucket.take() == 60.0
+
+
+class TestAdmissionController:
+    def controller(self, **kwargs):
+        return AdmissionController(AdmissionConfig(**kwargs))
+
+    def test_admits_under_limits(self):
+        control = self.controller(max_queue=4)
+        request = Request(id=1, method="detect")
+        assert control.decide(request, global_depth=3, tenant_depth=3) is None
+
+    def test_global_depth_sheds_overloaded(self):
+        control = self.controller(max_queue=4)
+        rejection = control.decide(
+            Request(id=1, method="detect"), global_depth=4, tenant_depth=0
+        )
+        assert rejection is not None
+        assert rejection.code == OVERLOADED
+        assert rejection.retry_after > 0
+        assert control.sheds == 1
+
+    def test_tenant_depth_sheds_before_quota(self):
+        control = self.controller(tenant_max_queue=2, quota_rate=100.0)
+        rejection = control.decide(
+            Request(id=1, method="detect"), global_depth=5, tenant_depth=2
+        )
+        assert rejection.code == OVERLOADED
+        assert "tenant" in rejection.message
+
+    def test_quota_sheds_per_tenant(self):
+        control = self.controller(quota_rate=1e-9, quota_burst=1.0)
+        a1 = Request(id=1, method="detect", tenant="a")
+        assert control.decide(a1, 0, 0) is None
+        rejection = control.decide(a1, 0, 0)
+        assert rejection.code == QUOTA_EXCEEDED
+        # quota buckets are per tenant: b still has its burst
+        assert control.decide(Request(id=2, method="detect", tenant="b"), 0, 0) is None
+
+    def test_degraded_sheds_low_priority_first(self):
+        control = self.controller()
+        low = Request(id=1, method="detect", priority="low")
+        normal = Request(id=2, method="detect")
+        assert control.decide(low, 0, 0, degraded=True).code == OVERLOADED
+        assert control.decide(normal, 0, 0, degraded=True) is None
+
+    def test_operational_methods_exempt(self):
+        control = self.controller(max_queue=0)
+        for method in sorted(ADMISSION_EXEMPT):
+            request = Request(id=1, method=method)
+            assert control.decide(request, global_depth=99, tenant_depth=99) is None
+
+    def test_ewma_prices_retry_after(self):
+        control = self.controller(max_queue=0)
+        control.observe_duration(2.0)
+        rejection = control.decide(Request(id=1, method="detect"), 3, 0)
+        assert rejection.retry_after == pytest.approx((3 + 1) * 2.0)
+
+
+# -- daemon-level overload behavior -----------------------------------------
+
+
+def fast_detect(gate=None, started=None):
+    """A deterministic stand-in for the real detect handler."""
+
+    def handler(params, ctx):
+        if started is not None:
+            started.set()
+        if gate is not None:
+            gate.wait(timeout=5)
+        return {"generation": ctx.tenant.state.generation, "reports": []}
+
+    return handler
+
+
+class TestDaemonAdmission:
+    def test_max_queue_sheds_overloaded(self, buggy_file):
+        gate, started = threading.Event(), threading.Event()
+        service = AnalysisService(buggy_file, workers=1, max_queue=2).start()
+        try:
+            service._method_detect = fast_detect(gate, started)
+            running = service.queue.submit(Request(id="r", method="detect"))
+            started.wait(timeout=5)  # in flight, not queued
+            queued = [
+                service.queue.submit(Request(id=f"q{i}", method="detect"))
+                for i in range(2)
+            ]
+            shed = service.queue.submit(Request(id="shed", method="detect"))
+            response = shed.result(timeout=5)
+            assert response["error"]["code"] == OVERLOADED
+            assert response["error"]["retry_after"] >= 0
+            # an overloaded daemon stays observable: ping is exempt
+            assert "result" in service.call("ping")
+            gate.set()
+            assert "result" in running.result(timeout=5)
+            for future in queued:
+                assert "result" in future.result(timeout=5)
+            assert service.collector.counters.get("service.shed") == 1
+            assert service.collector.counters.get("service.shed.overloaded") == 1
+        finally:
+            gate.set()
+            service.stop()
+
+    def test_tenant_max_queue_is_per_tenant(self, buggy_file, tmp_path):
+        other = tmp_path / "other.go"
+        other.write_text(BUGGY)
+        gate, started = threading.Event(), threading.Event()
+        service = AnalysisService(buggy_file, workers=1, tenant_max_queue=1).start()
+        try:
+            ok(service.call("register", {"tenant": "b", "path": str(other)}))
+            service._method_detect = fast_detect(gate, started)
+            running = service.queue.submit(Request(id="r", method="detect"))
+            started.wait(timeout=5)  # in flight, not queued
+            queued = service.queue.submit(Request(id="q", method="detect"))
+            shed = service.queue.submit(Request(id="s", method="detect"))
+            response = shed.result(timeout=5)
+            assert response["error"]["code"] == OVERLOADED
+            # the default tenant's full lane does not block tenant b
+            admitted = service.queue.submit(
+                Request(id="b1", method="detect", tenant="b")
+            )
+            gate.set()
+            for future in (running, queued, admitted):
+                assert "result" in future.result(timeout=5)
+            assert service.tenants.get("default").shed == 1
+            assert service.tenants.get("b").shed == 0
+        finally:
+            gate.set()
+            service.stop()
+
+    def test_quota_sheds_with_retry_after(self, buggy_file):
+        service = AnalysisService(
+            buggy_file, workers=1, quota=1e-9, quota_burst=2.0
+        ).start()
+        try:
+            service._method_detect = fast_detect()
+            assert "result" in service.call("detect")
+            assert "result" in service.call("detect")
+            response = service.call("detect")
+            assert response["error"]["code"] == QUOTA_EXCEEDED
+            assert response["error"]["retry_after"] > 0
+            assert service.collector.counters.get("service.shed.quota") == 1
+        finally:
+            service.stop()
+
+    def test_degraded_health_sheds_low_priority_first(self, buggy_file):
+        service = AnalysisService(buggy_file, workers=1).start()
+        try:
+            service._method_detect = fast_detect()
+            with injected("service-request@ping:raise:times=1"):
+                crashed = service.call("ping")
+            assert crashed["error"]["incident"]["site"] == "service-request"
+            low = service.call("detect", priority="low")
+            assert low["error"]["code"] == OVERLOADED
+            assert "low-priority" in low["error"]["message"]
+            assert "result" in service.call("detect", priority="normal")
+        finally:
+            service.stop()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_deadline_wins_over_shed(self, buggy_file, workers):
+        """A request that is both over-quota and past its deadline must
+        deterministically report DEADLINE_EXCEEDED, serial or concurrent."""
+        service = AnalysisService(
+            buggy_file, workers=workers, quota=1e-9, quota_burst=1.0
+        ).start()
+        try:
+            service._method_detect = fast_detect()
+            assert "result" in service.call("detect")  # burns the burst
+            over_quota = service.call("detect")
+            assert over_quota["error"]["code"] == QUOTA_EXCEEDED
+            both = service.call("detect", deadline_seconds=1e-9)
+            assert both["error"]["code"] == DEADLINE_EXCEEDED
+        finally:
+            service.stop()
+
+    def test_unknown_tenant_rejected_at_admission(self, buggy_file):
+        service = AnalysisService(buggy_file, workers=1).start()
+        try:
+            response = service.call("detect", tenant="ghost")
+            assert response["error"]["code"] == INVALID_PARAMS
+            assert "register" in response["error"]["message"]
+        finally:
+            service.stop()
+
+    def test_shutdown_drain_journals_every_outcome(self, buggy_file, tmp_path):
+        """Satellite regression: stop() completes the in-flight request,
+        answers queued ones with SHUTTING_DOWN, and journals both."""
+        journal_path = tmp_path / "journal.jsonl"
+        gate = threading.Event()
+        started = threading.Event()
+        service = AnalysisService(
+            buggy_file, workers=1, journal_path=str(journal_path)
+        ).start()
+        try:
+
+            def handler(params, ctx):
+                started.set()
+                gate.wait(timeout=5)
+                return {"generation": 1}
+
+            service._method_detect = handler
+            running = service.queue.submit(Request(id="r", method="detect"))
+            queued = service.queue.submit(Request(id="q", method="detect"))
+            started.wait(timeout=5)
+            stopper = threading.Thread(target=service.stop)
+            stopper.start()
+            assert queued.result(timeout=5)["error"]["code"] == SHUTTING_DOWN
+            gate.set()
+            stopper.join(timeout=5)
+            assert "result" in running.result(timeout=5)
+        finally:
+            gate.set()
+            service.stop()
+        outcomes = sorted(
+            record["outcome"] for record in service.journal.iter_records()
+        )
+        assert outcomes == ["ok", "shutdown"]
+
+    def test_overload_burst_every_request_answered(self, buggy_file, tmp_path):
+        """An in-process soak: a burst far beyond max_queue is fully
+        answered — served or structurally shed, nothing hangs, nothing
+        crashes, and the journal records every outcome."""
+        journal_path = tmp_path / "journal.jsonl"
+        extra = tmp_path / "extra.go"
+        extra.write_text(BUGGY)
+        service = AnalysisService(
+            buggy_file,
+            workers=2,
+            max_queue=4,
+            journal_path=str(journal_path),
+        ).start()
+        try:
+
+            def handler(params, ctx):
+                time.sleep(0.002)
+                return {"generation": ctx.tenant.state.generation}
+
+            service._method_detect = handler
+            for tenant in ("b", "c"):
+                ok(service.call("register", {"tenant": tenant, "path": str(extra)}))
+            futures = [
+                service.queue.submit(
+                    Request(id=i, method="detect", tenant=["default", "b", "c"][i % 3])
+                )
+                for i in range(60)
+            ]
+            served = shed = 0
+            for future in futures:
+                response = future.result(timeout=30)
+                if "result" in response:
+                    served += 1
+                else:
+                    assert response["error"]["code"] == OVERLOADED
+                    shed += 1
+            assert served + shed == 60
+            assert served > 0 and shed > 0
+            assert "result" in service.call("health")
+            assert service.call("health")["result"]["health"] == "ok"
+        finally:
+            service.stop()
+        records = [
+            r
+            for r in service.journal.iter_records()
+            if r["method"] == "detect"
+        ]
+        assert len(records) == 60
+        assert sum(1 for r in records if r["outcome"] == "overloaded") == shed
