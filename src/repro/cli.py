@@ -11,6 +11,8 @@ Commands mirror the paper's tooling:
   explorer's dynamic verdicts over the 49-bug corpus;
 * ``stats``           — run the full pipeline under the observability
   layer and print the per-stage trace (``--json`` for the machine form);
+* ``fleet``           — resumable corpus sweeps across N daemon
+  processes (``corpus``/``plan``/``sweep``/``fuzz`` subcommands);
 * ``nonblocking FILE``— the §6 extension (send-on-closed / double-close);
 * ``table1``          — regenerate Table 1 over the synthetic corpus;
 * ``coverage``        — the 49-bug coverage study.
@@ -523,7 +525,9 @@ def cmd_client(args: argparse.Namespace) -> int:
     if args.deadline is not None:
         params["deadline_seconds"] = args.deadline
     try:
-        with ServiceClient(host=args.host, port=args.port) as client:
+        with ServiceClient(
+            host=args.host, port=args.port, connect_timeout=args.connect_timeout
+        ) as client:
             response = client.call(
                 args.method,
                 params,
@@ -581,6 +585,93 @@ def cmd_top(args: argparse.Namespace) -> int:
         return 0
     print(render_top(records, title=f"repro top — {path}"))
     return 0
+
+
+def _fleet_build_plan(args: argparse.Namespace):
+    from repro import fleet
+
+    if args.fleet_command == "fuzz":
+        return fleet.plan_fuzz(args.seed, args.count, shard_size=args.shard_size)
+    return fleet.plan_corpus(args.path)
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Fleet sweeps: materialize a corpus, plan it, sweep it across N
+    daemons (``sweep``), or scale out a fuzz campaign (``fuzz``).
+
+    Exit codes: 0 — every unit completed; 1 — some units failed after
+    retries (the report marks them incomplete); 4 — the sweep died (a
+    supervisor checkpoint kill or an unrecoverable daemon); resume by
+    re-running with the same ``--manifest``.
+    """
+    import os
+
+    from repro import fleet
+
+    if args.fleet_command == "corpus":
+        dirs = fleet.materialize_bugset(args.dir)
+        print(f"materialized {len(dirs)} case(s) under {os.path.abspath(args.dir)}")
+        return 0
+    try:
+        plan = _fleet_build_plan(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot plan sweep: {exc}", file=sys.stderr)
+        return 2
+    if args.fleet_command == "plan":
+        if args.json:
+            print(json_dumps(plan.to_json()))
+        else:
+            for unit in plan.units:
+                what = unit.path or (
+                    f"seed={unit.seed} start={unit.start} count={unit.count}"
+                )
+                print(f"{unit.uid}  {unit.fingerprint[:12]}  {what}")
+            print(f"{len(plan.units)} unit(s)")
+        return 0
+    try:
+        if args.serial:
+            result = fleet.serial_sweep(plan)
+        else:
+            result = fleet.run_sweep(
+                plan,
+                daemons=args.daemons,
+                mode=args.mode,
+                manifest_path=args.manifest,
+                workers=args.workers,
+                deadline_seconds=args.deadline,
+                straggler_timeout=args.straggler_timeout,
+                journal_path=_journal_path(args),
+            )
+    except fleet.SweepKilled as exc:
+        print(f"sweep killed: {exc} — re-run with the same --manifest "
+              "to resume", file=sys.stderr)
+        return EXIT_INCIDENT
+    except fleet.SupervisorError as exc:
+        print(f"sweep aborted: {exc}", file=sys.stderr)
+        return EXIT_INCIDENT
+    report = result.report()
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(fleet.canonical_bytes(report))
+    if args.json:
+        print(json_dumps({
+            "report": report,
+            "telemetry": result.telemetry(),
+            "failed": result.failed,
+        }))
+    else:
+        print(fleet.render(report))
+        tel = result.telemetry()
+        rate = tel["units_per_second"]
+        print(
+            f"  {tel['executed']} executed / {tel['skipped']} skipped in "
+            f"{tel['elapsed_seconds']:.2f}s"
+            + (f" ({rate:.2f} units/s)" if rate else "")
+            + f"; restarts={tel['restarts']} sheds={tel['sheds']}"
+        )
+        for uid, reason in sorted(result.failed.items()):
+            print(f"  FAILED {uid}: {reason}", file=sys.stderr)
+    return 0 if result.complete() else 1
 
 
 def cmd_nonblocking(args: argparse.Namespace) -> int:
@@ -859,7 +950,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("client", help="send one request to a running daemon")
     p.add_argument("method", help="detect | fix | stats | metrics | "
                                   "metrics_text | health | refresh | ping | "
-                                  "register | tenants | shutdown")
+                                  "register | tenants | fuzz | shutdown")
     p.add_argument("--port", type=int, required=True)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--params", default=None, metavar="JSON",
@@ -873,7 +964,79 @@ def build_parser() -> argparse.ArgumentParser:
                    default="normal",
                    help="scheduling class (low is shed first under "
                         "degraded health)")
+    p.add_argument("--connect-timeout", type=float, default=5.0,
+                   help="seconds to keep retrying the TCP connect with "
+                        "deterministic backoff (a daemon still binding "
+                        "its port is not an error)")
     p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser(
+        "fleet",
+        help="resumable corpus sweeps across N analysis daemons",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    fp = fleet_sub.add_parser(
+        "corpus", help="materialize the 49-program bug set as a corpus tree"
+    )
+    fp.add_argument("dir", help="target directory (one <case_id>/main.go per case)")
+    fp.set_defaults(func=cmd_fleet)
+
+    def _add_fleet_sweep_args(fp):
+        fp.add_argument("--daemons", type=int, default=1,
+                        help="daemon count (default: 1)")
+        fp.add_argument("--mode", choices=["thread", "process"], default="process",
+                        help="daemon backend: separate processes (default) or "
+                             "in-process served threads")
+        fp.add_argument("--manifest", default=None, metavar="PATH",
+                        help="resumable JSONL checkpoint; re-running with the "
+                             "same manifest skips completed units whose "
+                             "fingerprints still match")
+        fp.add_argument("--workers", type=int, default=1,
+                        help="scheduler workers per daemon (default: 1)")
+        fp.add_argument("--serial", action="store_true",
+                        help="run the serial in-process reference sweep "
+                             "instead of a daemon fleet (parity baseline)")
+        fp.add_argument("--deadline", type=float, default=None,
+                        help="per-unit queue deadline in seconds")
+        fp.add_argument("--straggler-timeout", type=float, default=None,
+                        help="seconds before an unresponsive unit's daemon is "
+                             "restarted and the unit re-dispatched")
+        fp.add_argument("--out", default=None, metavar="PATH",
+                        help="write the canonical report bytes here")
+        fp.add_argument("--journal", default=None, metavar="PATH",
+                        help="append per-unit telemetry records for repro top")
+        fp.add_argument("--json", action="store_true",
+                        help="emit report + telemetry as JSON")
+        fp.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault plan (sites fleet-supervisor "
+                             "/ fleet-dispatch for chaos drills)")
+        fp.add_argument("--fault-seed", type=int, default=0)
+
+    fp = fleet_sub.add_parser(
+        "plan", help="print the work units a corpus tree plans into"
+    )
+    fp.add_argument("path", help="corpus directory (or one .go file)")
+    fp.add_argument("--json", action="store_true")
+    fp.set_defaults(func=cmd_fleet)
+
+    fp = fleet_sub.add_parser(
+        "sweep", help="sweep a corpus tree across N daemons"
+    )
+    fp.add_argument("path", help="corpus directory (or one .go file)")
+    _add_fleet_sweep_args(fp)
+    fp.set_defaults(func=cmd_fleet)
+
+    fp = fleet_sub.add_parser(
+        "fuzz", help="scale a fuzz campaign out across N daemons"
+    )
+    fp.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fp.add_argument("--count", type=int, required=True,
+                    help="total programs (split into shards)")
+    fp.add_argument("--shard-size", type=int, default=25,
+                    help="programs per work unit (default: 25)")
+    _add_fleet_sweep_args(fp)
+    fp.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("nonblocking", help="send-on-closed / double-close detection")
     p.add_argument("file")

@@ -17,13 +17,7 @@ shapes; zero campaign crashes). Closing a gap moves its record from
 diagnosis are kept so the fix stays regression-tested (the oracles
 must keep agreeing on the very programs that once split them).
 
-Open:
-
-* ``bmocc_s1_race`` + ``drop-close`` — removing the ``close`` leaves a
-  select arm reading a channel that no goroutine will ever send on or
-  close; BMOC still reports the original blocking pattern, but the
-  select's other arm always rescues the goroutine, and exhaustive
-  search proves no leak. A static false positive (``static-only``).
+Open: none — every shape from the hunt is closed.
 
 Closed:
 
@@ -34,6 +28,15 @@ Closed:
   (``repro.constraints.encoding.repeat_attempts``): a send truncated by
   the unroll limit carries its remaining loop-trip attempts into Φ_B,
   so ``attempts > BS - CB`` reports the leak the buffer was hiding.
+* ``bmocc_s1_race`` + ``drop-close`` — removing the ``close`` left a
+  select arm reading a channel that no goroutine will ever send on or
+  close; BMOC kept reporting the original blocking pattern even though
+  the select's data arm always rescues the goroutine and exhaustive
+  search proves no leak. Closed by the dead-select-arm pruning rule
+  (``repro.detector.paths.PathEnumerator._select_arm_dead``): a receive
+  arm whose channel has zero send/close operations anywhere in the
+  program can never fire, so paths taking it are infeasible and are no
+  longer enumerated.
 """
 
 from __future__ import annotations
@@ -77,32 +80,11 @@ class ClosedRegression:
 
     case: FuzzRegression
     resolved_bucket: str  # the bucket today's triage must produce
+    resolved_classification: str  # the reconciliation today must produce
     resolution: str  # one-line description of what closed the gap
 
 
-FUZZ_REGRESSIONS: Tuple[FuzzRegression, ...] = (
-    FuzzRegression(
-        name="closeless-select-false-alarm",
-        campaign_seed=8,
-        index=137,
-        motifs=(
-            MotifSpec(
-                template="bmocc_s1_race",
-                uid="M0",
-                placement=INLINE,
-                mutations=("drop-close",),
-                arg=2,
-            ),
-        ),
-        classification="static-only",
-        diagnosis=(
-            "with the close() dropped the select's quit arm is dead, but "
-            "its data arm still always rescues the goroutine; BMOC keeps "
-            "reporting the original pattern while exhaustive search "
-            "proves no schedule leaks"
-        ),
-    ),
-)
+FUZZ_REGRESSIONS: Tuple[FuzzRegression, ...] = ()
 
 CLOSED_REGRESSIONS: Tuple[ClosedRegression, ...] = (
     ClosedRegression(
@@ -127,6 +109,7 @@ CLOSED_REGRESSIONS: Tuple[ClosedRegression, ...] = (
             ),
         ),
         resolved_bucket="agree",
+        resolved_classification="agree-bug",
         resolution=(
             "repeatable-send blocking rule: a cut-path send carries its "
             "remaining trip-count attempts, so attempts > BS - CB flags "
@@ -155,7 +138,39 @@ CLOSED_REGRESSIONS: Tuple[ClosedRegression, ...] = (
             ),
         ),
         resolved_bucket="agree",
+        resolved_classification="agree-bug",
         resolution="closed by the same repeatable-send blocking rule",
+    ),
+    ClosedRegression(
+        case=FuzzRegression(
+            name="closeless-select-false-alarm",
+            campaign_seed=8,
+            index=137,
+            motifs=(
+                MotifSpec(
+                    template="bmocc_s1_race",
+                    uid="M0",
+                    placement=INLINE,
+                    mutations=("drop-close",),
+                    arg=2,
+                ),
+            ),
+            classification="static-only",
+            diagnosis=(
+                "with the close() dropped the select's quit arm is dead, "
+                "but its data arm still always rescues the goroutine; BMOC "
+                "kept reporting the original pattern while exhaustive "
+                "search proves no schedule leaks"
+            ),
+        ),
+        resolved_bucket="agree",
+        resolved_classification="agree-clean",
+        resolution=(
+            "dead-select-arm pruning: a receive arm on a channel with no "
+            "send or close anywhere in the program can never fire, so the "
+            "path that took it (and skipped the rescuing data arm) is no "
+            "longer enumerated"
+        ),
     ),
 )
 

@@ -355,6 +355,8 @@ class PathEnumerator:
             else:
                 has_other = True
         for case, op in zip(select.cases, case_ops):
+            if op is None and self._select_arm_dead(case):
+                continue
             choice = SelectChoice(
                 instr=select,
                 line=select.line,
@@ -544,6 +546,33 @@ class PathEnumerator:
             )
             if callee_paths:
                 events.extend(callee_paths[0].events)
+
+    def _select_arm_dead(self, case: ir.SelectCase) -> bool:
+        """A receive arm that can provably never fire.
+
+        A select case receiving on a channel with zero send and zero close
+        operations anywhere in the program can never complete: even a
+        buffered channel yields nothing without a sender, and only the
+        runtime can close a context Done channel. Paths taking such an arm
+        are infeasible, so enumerating them only manufactures false
+        positives (the arm lets the path skip the Pset cases it would
+        otherwise have to synchronize on). The check demands every aliased
+        site resolve to a known non-ctxdone primitive — an unresolved
+        operand means the operation index may be incomplete, and the arm
+        is conservatively kept.
+        """
+        if case.kind != "recv":
+            return False
+        sites = self.alias.sites_of(case.chan)
+        if not sites:
+            return False
+        for site in sites:
+            prim = self._prim_by_site.get(site)
+            if prim is None or prim.site.kind == "ctxdone":
+                return False
+            if any(op.kind in ("send", "close") for op in prim.operations):
+                return False
+        return True
 
     # -- op helpers -------------------------------------------------------------
 

@@ -28,8 +28,9 @@ from repro.analysis.primitives import Primitive
 from repro.constraints import encoding, solver
 from repro.ssa import ir
 
-#: version tag of the engine itself (shard layout, cache entry shape)
-ENGINE_VERSION = "1"
+#: version tag of the engine itself (shard layout, cache entry shape,
+#: path-enumeration semantics such as the dead-select-arm pruning rule)
+ENGINE_VERSION = "2"
 
 
 def _operand(op: object, labels: Dict[int, str]) -> str:

@@ -1,0 +1,61 @@
+"""repro.fleet — resumable corpus sweeps across N analysis daemons.
+
+The fleet pipeline, module per stage:
+
+* :mod:`repro.fleet.plan` — walk a corpus (or shard a fuzz campaign)
+  into deterministic, content-fingerprinted work units;
+* :mod:`repro.fleet.supervisor` — spawn/health-check/restart N
+  ``repro serve`` daemons (thread or process backend);
+* :mod:`repro.fleet.driver` — least-loaded dispatch with backpressure,
+  straggler re-dispatch, and checkpointing; plus the serial reference
+  sweep the parity suite compares against;
+* :mod:`repro.fleet.manifest` — the torn-line-tolerant JSONL checkpoint
+  a killed sweep resumes from;
+* :mod:`repro.fleet.report` — deterministic aggregation (the byte-parity
+  surface) and the separate telemetry rollup.
+"""
+
+from repro.fleet.driver import FleetResult, SweepKilled, run_sweep, serial_sweep
+from repro.fleet.manifest import SweepManifest
+from repro.fleet.plan import (
+    SweepPlan,
+    WorkUnit,
+    materialize_bugset,
+    plan_corpus,
+    plan_fuzz,
+    unit_fingerprint,
+)
+from repro.fleet.report import (
+    FLEET_REPORT_KIND,
+    aggregate,
+    canonical_bytes,
+    merge_telemetry,
+    outcome_from_detect,
+    outcome_from_fuzz,
+    render,
+)
+from repro.fleet.supervisor import DaemonHandle, FleetSupervisor, SupervisorError
+
+__all__ = [
+    "DaemonHandle",
+    "FLEET_REPORT_KIND",
+    "FleetResult",
+    "FleetSupervisor",
+    "SupervisorError",
+    "SweepKilled",
+    "SweepManifest",
+    "SweepPlan",
+    "WorkUnit",
+    "aggregate",
+    "canonical_bytes",
+    "materialize_bugset",
+    "merge_telemetry",
+    "outcome_from_detect",
+    "outcome_from_fuzz",
+    "plan_corpus",
+    "plan_fuzz",
+    "render",
+    "run_sweep",
+    "serial_sweep",
+    "unit_fingerprint",
+]

@@ -154,6 +154,7 @@ class CampaignReport:
     triages: List[ProgramTriage] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     trace: Optional[object] = None  # the campaign's repro.obs.Collector
+    start: int = 0  # first program index (fleet shards offset this)
 
     def buckets(self) -> Dict[str, int]:
         counts = {bucket: 0 for bucket in BUCKETS}
@@ -188,6 +189,7 @@ class CampaignReport:
             "kind": "fuzz-campaign",
             "seed": self.seed,
             "count": self.count,
+            "start": self.start,
             "config": self.config.to_json(),
             "buckets": self.buckets(),
             "by_class": rollup["by_class"],
@@ -314,14 +316,21 @@ def run_campaign(
     config: CampaignConfig = CampaignConfig(),
     collector=None,
     retry_policy: Optional[RetryPolicy] = None,
+    start: int = 0,
 ) -> CampaignReport:
-    """Generate and triage ``count`` programs from one campaign seed."""
+    """Generate and triage ``count`` programs from one campaign seed.
+
+    ``start`` offsets the program index range to ``[start, start+count)``
+    without changing any program's content: generation is pure in
+    ``(seed, index)``, so a campaign split into shards across a fleet
+    produces the exact triages of the equivalent single run.
+    """
     obs = collector or NULL
     firewall = Firewall(collector=collector, policy=retry_policy)
-    report = CampaignReport(seed=seed, count=count, config=config)
+    report = CampaignReport(seed=seed, count=count, config=config, start=start)
     started = time.perf_counter()
     with obs.span("fuzz-campaign"):
-        for index in range(count):
+        for index in range(start, start + count):
             program = generate_program(seed, index)
             program_started = time.perf_counter()
             triage = triage_program(

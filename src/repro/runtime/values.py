@@ -8,8 +8,34 @@ between parked senders and receivers, and mutexes as ownership flags.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
+
+
+class _RuntimeIds(threading.local):
+    """Per-thread serial counters for sync objects and env frames.
+
+    Thread-local on purpose: a daemon fleet runs whole campaigns
+    concurrently in one process (thread-mode daemons), and a shared
+    counter would let one run's allocations perturb another's object
+    ids — and through them the explorer's footprint pruning — making
+    ``total_steps`` depend on co-scheduled work. Each interpreter run
+    resets only its own thread's counters, so concurrent runs mint the
+    same ids they would alone.
+    """
+
+    def __init__(self):
+        self.counts: Dict[str, int] = {}
+
+
+_IDS = _RuntimeIds()
+
+
+def _next_id(kind: str) -> int:
+    n = _IDS.counts.get(kind, 0) + 1
+    _IDS.counts[kind] = n
+    return n
 
 
 def reset_runtime_ids() -> None:
@@ -20,13 +46,7 @@ def reset_runtime_ids() -> None:
     compare footprints recorded in one run against objects seen in a sibling
     run that shares its choice prefix.
     """
-    Channel._counter = 0
-    MutexVal._counter = 0
-    WaitGroupVal._counter = 0
-    CondVal._counter = 0
-    StructVal._counter = 0
-    SliceVal._counter = 0
-    Env._shared_counter = 0
+    _IDS.counts.clear()
 
 
 class GoPanic(Exception):
@@ -52,11 +72,8 @@ def zero_value(elem_type: str) -> Any:
 class Channel:
     """A Go channel: bounded FIFO buffer plus parked sender/receiver queues."""
 
-    _counter = 0
-
     def __init__(self, capacity: int, elem_type: str = "any", create_line: int = 0):
-        Channel._counter += 1
-        self.id = Channel._counter
+        self.id = _next_id("chan")
         self.capacity = capacity
         self.elem_type = elem_type
         self.create_line = create_line
@@ -141,11 +158,9 @@ class Channel:
 
 
 class MutexVal:
-    _counter = 0
 
     def __init__(self, rw: bool = False, create_line: int = 0):
-        MutexVal._counter += 1
-        self.id = MutexVal._counter
+        self.id = _next_id("mutex")
         self.rw = rw
         self.create_line = create_line
         self.locked_by: Optional[int] = None
@@ -162,11 +177,9 @@ class MutexVal:
 
 
 class WaitGroupVal:
-    _counter = 0
 
     def __init__(self, create_line: int = 0):
-        WaitGroupVal._counter += 1
-        self.id = WaitGroupVal._counter
+        self.id = _next_id("wg")
         self.create_line = create_line
         self.count = 0
 
@@ -182,11 +195,8 @@ class CondVal:
     not buffered, exactly like Go's sync.Cond.
     """
 
-    _counter = 0
-
     def __init__(self, create_line: int = 0):
-        CondVal._counter += 1
-        self.id = CondVal._counter
+        self.id = _next_id("cond")
         self.create_line = create_line
 
     def __repr__(self) -> str:
@@ -209,11 +219,9 @@ class CancelFunc:
 
 
 class StructVal:
-    _counter = 0
 
     def __init__(self, type_name: str, fields: Optional[Dict[str, Any]] = None):
-        StructVal._counter += 1
-        self.id = StructVal._counter
+        self.id = _next_id("struct")
         self.type_name = type_name
         self.fields: Dict[str, Any] = dict(fields or {})
 
@@ -222,11 +230,9 @@ class StructVal:
 
 
 class SliceVal:
-    _counter = 0
 
     def __init__(self, elems: List[Any]):
-        SliceVal._counter += 1
-        self.id = SliceVal._counter
+        self.id = _next_id("slice")
         self.elems = elems
 
     def __repr__(self) -> str:
@@ -259,8 +265,6 @@ class Env:
 
     __slots__ = ("vars", "parent", "shared", "shared_serial")
 
-    _shared_counter = 0
-
     def __init__(self, parent: Optional["Env"] = None):
         self.vars: Dict[str, Any] = {}
         self.parent = parent
@@ -270,9 +274,8 @@ class Env:
     def mark_shared(self) -> None:
         env: Optional[Env] = self
         while env is not None and not env.shared:
-            Env._shared_counter += 1
             env.shared = True
-            env.shared_serial = Env._shared_counter
+            env.shared_serial = _next_id("env")
             env = env.parent
 
     def owner_of(self, name: str) -> Optional["Env"]:

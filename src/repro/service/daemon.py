@@ -120,7 +120,7 @@ __all__ = [
 
 #: methods that do not address one tenant's resident state, so they are
 #: served even when the request's tenant id is not (yet) registered
-_TENANTLESS_METHODS = ("register", "tenants")
+_TENANTLESS_METHODS = ("register", "tenants", "fuzz")
 
 #: rejection code -> journal outcome tag
 _REJECT_OUTCOMES = {
@@ -721,6 +721,39 @@ class AnalysisService:
         if result.incidents:
             payload["incidents"] = incidents_to_json(result.incidents)
         return payload
+
+    def _method_fuzz(self, params: dict, ctx: RequestContext) -> dict:
+        """One fuzz-campaign shard: triage program indexes
+        ``[start, start+count)`` of ``seed``. Generation is pure in
+        (seed, index), so shards merged across a fleet reproduce the
+        single-process campaign exactly — the triage dicts carry no
+        timing, and the nondeterministic wall clock stays out of them.
+        """
+        seed = params.get("seed", 0)
+        start = params.get("start", 0)
+        count = params.get("count")
+        for name, value in (("seed", seed), ("start", start), ("count", count)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ServiceError(
+                    INVALID_PARAMS, f"fuzz needs integer params.{name}"
+                )
+        if count <= 0 or start < 0:
+            raise ServiceError(
+                INVALID_PARAMS, "fuzz needs count > 0 and start >= 0"
+            )
+        from repro.fuzz.campaign import run_campaign
+
+        report = run_campaign(seed, count, start=start, collector=ctx.obs)
+        return {
+            "seed": seed,
+            "start": start,
+            "count": count,
+            "triages": [t.to_dict() for t in report.triages],
+            "buckets": report.buckets(),
+            "unexplained": len(report.unexplained()),
+            "crashes": len(report.crashes()),
+            "elapsed_seconds": round(report.elapsed_seconds, 6),
+        }
 
     def _method_fix(self, params: dict, ctx: RequestContext) -> dict:
         tenant = ctx.tenant

@@ -78,6 +78,7 @@ METHODS = (
     "refresh",
     "register",
     "tenants",
+    "fuzz",
     "shutdown",
 )
 

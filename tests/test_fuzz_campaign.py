@@ -12,7 +12,7 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _fuzz_exit, main
 from repro.fuzz import (
     BUCKET_AGREE,
     BUCKET_EXPLAINED,
@@ -114,13 +114,16 @@ class TestKnownFindings:
         assert "bmocc_s3_pump" in triage.templates
         assert "M0:buffer-grow" in triage.mutations
 
-    def test_dropped_close_is_a_static_only_finding(self):
+    def test_dropped_close_finding_is_closed(self):
+        """Once a static-only FP (dead quit arm let BMOC's witness skip
+        the rescuing data arm); the dead-select-arm pruning rule no
+        longer enumerates the infeasible path, so the oracles agree."""
         triage = triage_program(generate_program(8, 137))
-        assert triage.bucket == BUCKET_UNEXPLAINED
-        assert triage.classification == "static-only"
+        assert triage.bucket == "agree"
+        assert triage.classification == "agree-clean"
+        assert not triage.static_bug
         assert triage.templates == ("bmocc_s1_race",)
         assert triage.mutations == ("M0:drop-close",)
-        assert triage.explanation == "exhaustive search found no leak"
 
 
 class TestCrashIsolation:
@@ -200,11 +203,16 @@ class TestFuzzCommand:
         assert len(payload["triages"]) == 5
         assert "stats" in payload  # --json runs under a collector
 
-    def test_unexplained_finding_exits_one(self, capsys):
+    def test_closed_finding_exits_zero(self, capsys):
+        """The once-unexplained (seed 8, index 137) program now agrees,
+        so replaying it is a clean exit; the exit policy itself still
+        maps unexplained findings to 1 and crashes to 2."""
         code = main(["fuzz", "--seed", "8", "--only", "137", "--json"])
         payload = json.loads(capsys.readouterr().out)
-        assert code == 1
-        assert payload["bucket"] == BUCKET_UNEXPLAINED
+        assert code == 0
+        assert payload["bucket"] == "agree"
+        assert _fuzz_exit(unexplained=True, crashed=False) == 1
+        assert _fuzz_exit(unexplained=True, crashed=True) == 4
 
     def test_only_replays_one_program(self, capsys):
         code = main(["fuzz", "--seed", "0", "--only", "0"])
@@ -217,21 +225,24 @@ class TestFuzzCommand:
             "fuzz", "--seed", "8", "--only", "137",
             "--dump-dir", str(tmp_path),
         ])
-        assert code == 1
+        assert code == 0  # the once-open finding now agrees
         dumped = tmp_path / "fuzz-s8-p137.go"
         text = dumped.read_text()
         assert text.startswith("// fuzz-s8-p137: generated by `repro fuzz --seed 8 --only 137`")
         assert "// recipe: bmocc_s1_race[M0 inline drop-close]" in text
         assert "package main" in text
 
-    def test_minimize_flag_dumps_the_shrunk_recipe(self, tmp_path, capsys):
+    def test_minimize_flag_is_a_noop_on_agreed_programs(self, tmp_path, capsys):
+        """Minimization only fires on unexplained findings; an agreed
+        program dumps with its full original recipe untouched."""
         code = main([
             "fuzz", "--seed", "5", "--only", "88", "--minimize",
             "--dump-dir", str(tmp_path),
         ])
-        assert code == 1
+        assert code == 0
         text = (tmp_path / "fuzz-s5-p88.go").read_text()
-        assert "// recipe: bmocc_s1_race[M3 inline drop-close]" in text
+        assert "bmocc_s1_race[M3 inline buffer-grow,buffer-shrink,drop-close]" in text
+        assert "benign_compute[M0 nested]" in text  # nothing was shed
 
     def test_campaign_crash_exits_with_incident_code(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "fuzz-program@fuzz-s0-p1:raise")

@@ -12,6 +12,7 @@ The daemon's contract under test:
 * the daemon's exit-code policy (``exit_code_for``) is the CLI's.
 """
 
+import socket
 import threading
 import time
 
@@ -24,6 +25,7 @@ from repro.service import (
     Request,
     RequestQueue,
     ServiceClient,
+    ServiceConnectionError,
     decode_request,
     encode_line,
     exit_code_for,
@@ -476,6 +478,67 @@ class TestTcpTransport:
                 client.result("shutdown")
         finally:
             thread.join(timeout=10)
+
+
+class TestConnectRetry:
+    """Satellite: the client survives the spawn-then-connect race by
+    retrying refused connections with deterministic backoff."""
+
+    @staticmethod
+    def _free_port() -> int:
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_connect_retries_until_daemon_binds(self, buggy_file):
+        port = self._free_port()
+        service = AnalysisService(buggy_file).start()
+        server_box = {}
+
+        def bind_late():
+            time.sleep(0.2)
+            server = serve_tcp(service, port=port)
+            server_box["server"] = server
+            server.serve_until_shutdown()
+
+        thread = threading.Thread(target=bind_late, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient("127.0.0.1", port, connect_timeout=10.0) as client:
+                assert client.connect_attempts > 1
+                assert client.result("ping")["ok"] is True
+                client.result("shutdown")
+        finally:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+
+    def test_zero_connect_timeout_fails_on_first_refusal(self):
+        port = self._free_port()
+        with pytest.raises(ServiceConnectionError) as err:
+            ServiceClient("127.0.0.1", port, connect_timeout=0.0)
+        assert "after 1 attempt(s)" in str(err.value)
+
+    def test_backoff_sequence_is_deterministic(self):
+        port = self._free_port()
+        clock = {"now": 0.0}
+        slept = []
+
+        def fake_sleep(seconds):
+            slept.append(seconds)
+            clock["now"] += seconds
+
+        with pytest.raises(ServiceConnectionError):
+            ServiceClient(
+                "127.0.0.1",
+                port,
+                connect_timeout=1.0,
+                _sleep=fake_sleep,
+                _clock=lambda: clock["now"],
+            )
+        # 0.05 * 2**k until the next delay would cross the deadline
+        assert slept == [0.05, 0.1, 0.2, 0.4]
 
 
 class TestWatcher:
